@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 2: execution time of the test functions when co-running with
+ * 26 others (one per core), normalized to running alone.
+ *
+ * Paper: up to ~35% slowdown, gmean 11.5%.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace litmus;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 2: co-run slowdown with 26 co-runners");
+
+    pricing::ExperimentConfig cfg;
+    cfg.coRunners = 26;
+    cfg.layoutOnePerCore();
+    cfg.repetitions = bench::reps();
+
+    const auto result = pricing::runSlowdownExperiment(cfg);
+
+    TextTable table({"function", "normalized exec time"});
+    double maxSlow = 0;
+    for (const auto &row : result.rows) {
+        table.addRow({row.name, TextTable::num(row.totalSlowdown)});
+        maxSlow = std::max(maxSlow, row.totalSlowdown);
+    }
+    table.addRow({"gmean", TextTable::num(result.gmeanTotalSlowdown)});
+    table.print(std::cout);
+
+    std::cout << "\npaper=    gmean slowdown 11.5%, max ~35%\n"
+              << "measured= gmean slowdown "
+              << TextTable::num(100 * (result.gmeanTotalSlowdown - 1), 1)
+              << "%, max " << TextTable::num(100 * (maxSlow - 1), 1)
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3: T_private and T_shared per instruction under 26
+ * co-runners, normalized to running alone.
+ *
+ * Paper: T_shared +181% on average (max +488%); T_private +4%.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace litmus;
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 3: normalized T_private & T_shared "
+                           "with 26 co-runners");
+
+    pricing::ExperimentConfig cfg;
+    cfg.coRunners = 26;
+    cfg.layoutOnePerCore();
+    cfg.repetitions = bench::reps();
+
+    const auto result = pricing::runSlowdownExperiment(cfg);
+
+    TextTable table({"function", "Tprivate", "Tshared"});
+    double maxShared = 0;
+    for (const auto &row : result.rows) {
+        table.addRow({row.name, TextTable::num(row.tPrivSlowdown),
+                      TextTable::num(row.tSharedSlowdown)});
+        maxShared = std::max(maxShared, row.tSharedSlowdown);
+    }
+    table.addRow({"gmean", TextTable::num(result.gmeanPrivSlowdown),
+                  TextTable::num(result.gmeanSharedSlowdown)});
+    table.print(std::cout);
+
+    std::cout << "\npaper=    Tshared +181% avg (max +488%), "
+                 "Tprivate +4%\n"
+              << "measured= Tshared +"
+              << TextTable::num(100 * (result.gmeanSharedSlowdown - 1),
+                                0)
+              << "% avg (max +"
+              << TextTable::num(100 * (maxShared - 1), 0)
+              << "%), Tprivate +"
+              << TextTable::num(100 * (result.gmeanPrivSlowdown - 1), 1)
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 4: distribution of execution time between T_private and
+ * T_shared when running alone.
+ *
+ * Paper: compute-bound functions up to 99.96% private (float-py);
+ * memory-bound functions (fib-nj, graph workloads) markedly lower.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/calibration.h"
+#include "workload/suite.h"
+
+using namespace litmus;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 4: T_private / T_shared distribution (solo)");
+
+    const auto machine = sim::MachineConfig::cascadeLake5218();
+
+    TextTable table({"function", "Tprivate %", "Tshared %"});
+    double meanShared = 0;
+    double floatShare = 0, fibNjShare = 0;
+    const auto &suite = workload::table1Suite();
+    for (const auto &spec : suite) {
+        const auto solo = pricing::measureSoloBaseline(machine, spec);
+        const double shared = solo.sharedCpi / solo.totalCpi();
+        meanShared += shared;
+        if (spec.name == "float-py")
+            floatShare = shared;
+        if (spec.name == "fib-nj")
+            fibNjShare = shared;
+        table.addRow({spec.name, TextTable::num(100 * (1 - shared), 2),
+                      TextTable::num(100 * shared, 2)});
+    }
+    meanShared /= static_cast<double>(suite.size());
+    table.addRow({"mean", TextTable::num(100 * (1 - meanShared), 2),
+                  TextTable::num(100 * meanShared, 2)});
+    table.print(std::cout);
+
+    std::cout << "\npaper=    float-py up to 99.96% private; fib-nj "
+                 "clearly shared-heavy\n"
+              << "measured= float-py "
+              << TextTable::num(100 * (1 - floatShare), 2)
+              << "% private; fib-nj "
+              << TextTable::num(100 * fibNjShare, 1) << "% shared\n";
+    return 0;
+}

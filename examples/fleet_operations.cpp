@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fleet operations: the full provider lifecycle of Litmus pricing.
+ *
+ *  1. Calibrate a machine and persist the tables artifact to disk.
+ *  2. (Later / elsewhere) load the artifact and rebuild the model —
+ *     no re-sweep needed.
+ *  3. Serve a churning workload while a RecalibrationAdvisor watches
+ *     the live Litmus-test stream for drift.
+ *  4. Drift scenario: the workload turns far more memory-hungry than
+ *     the calibration sweep covered, and the advisor flags it.
+ */
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/text_table.h"
+#include "core/calibration.h"
+#include "core/recalibration.h"
+#include "core/table_io.h"
+#include "workload/invoker.h"
+#include "workload/suite.h"
+
+using namespace litmus;
+
+namespace
+{
+
+/**
+ * Run a churn scenario, feeding every probe to the advisor; returns
+ * the advisor's verdict.
+ */
+pricing::RecalibrationAdvice
+serveScenario(const sim::MachineConfig &machine,
+              const pricing::DiscountModel &model,
+              const std::vector<const workload::FunctionSpec *> &pool,
+              unsigned co_runners, const char *label)
+{
+    sim::Engine engine(machine);
+    workload::InvokerConfig icfg;
+    icfg.placement = workload::InvokerConfig::Placement::OnePerCore;
+    icfg.targetCount = co_runners;
+    for (unsigned cpu = 1; cpu <= co_runners; ++cpu)
+        icfg.cpuPool.push_back(cpu);
+    icfg.functionPool = pool;
+    workload::Invoker invoker(engine, icfg);
+
+    pricing::RecalibrationConfig rcfg;
+    rcfg.minReadings = 8;
+    pricing::RecalibrationAdvisor advisor(model, rcfg);
+
+    bool captured = false;
+    sim::ProbeCapture probe;
+    engine.onCompletion([&](sim::Task &task) {
+        if (invoker.handleCompletion(task))
+            return;
+        probe = task.probe();
+        captured = true;
+    });
+    invoker.start();
+    engine.run(0.1);
+
+    for (int i = 0; i < 12; ++i) {
+        auto startup = std::make_unique<workload::ProgramTask>(
+            "probe",
+            workload::startupProgram(workload::Language::Python),
+            workload::probeWindow(workload::Language::Python));
+        startup->setAffinity({0});
+        captured = false;
+        sim::Task &handle = engine.add(std::move(startup));
+        engine.runUntilCompleteId(handle.id());
+        if (!captured)
+            fatal("fleet demo: probe not captured");
+        advisor.observe(pricing::readProbe(probe),
+                        workload::Language::Python);
+        engine.run(0.05);
+    }
+
+    const auto advice = advisor.advice();
+    std::cout << "  " << label << ": "
+              << pricing::RecalibrationAdvisor::adviceName(advice)
+              << " (out-of-range "
+              << TextTable::num(100 * advisor.outOfRangeFraction(), 0)
+              << "%, unbracketed "
+              << TextTable::num(100 * advisor.unbracketedFraction(), 0)
+              << "%)\n";
+    return advice;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const std::string artifact = "/tmp/litmus-fleet-tables.txt";
+
+    printBanner(std::cout, "Fleet operations: calibrate once, deploy, "
+                           "watch for drift");
+
+    // 1. Calibrate and persist. A deliberately *shallow* sweep so the
+    //    drift scenario below can outrun it.
+    std::cout << "calibrating (shallow sweep, levels 2-6)...\n";
+    pricing::CalibrationConfig ccfg;
+    ccfg.machine = machine;
+    ccfg.levels = {2, 4, 6};
+    const auto tables = pricing::calibrate(ccfg);
+    pricing::saveTables(artifact, tables.congestion,
+                        tables.performance);
+    std::cout << "tables saved to " << artifact << "\n";
+
+    // 2. Reload (as the pricing service on another node would).
+    const auto loaded = pricing::loadTables(artifact);
+    const pricing::DiscountModel model(loaded.congestion,
+                                       loaded.performance);
+    std::cout << "tables reloaded; model rebuilt without re-sweep\n\n";
+
+    // 3. Normal operation: mixed workload, light machine.
+    std::cout << "serving scenarios:\n";
+    serveScenario(machine, model, workload::allFunctions(), 8,
+                  "light mixed workload   ");
+
+    // 4. Drift: a stampede of the heaviest graph workloads, far
+    //    beyond what levels 2-6 calibrated.
+    const std::vector<const workload::FunctionSpec *> heavy = {
+        &workload::functionByName("pager-py"),
+        &workload::functionByName("bfs-py"),
+        &workload::functionByName("mst-py"),
+        &workload::functionByName("fib-nj"),
+    };
+    const auto advice = serveScenario(machine, model, heavy, 30,
+                                      "memory-hungry stampede ");
+
+    if (advice != pricing::RecalibrationAdvice::TablesHealthy) {
+        std::cout << "\nadvisor recommends a recalibration sweep — "
+                     "rerun with higher levels:\n"
+                  << "  litmus-sim calibrate --max-level 30 "
+                     "--output new-tables.txt\n";
+    }
+    return 0;
+}

@@ -1,0 +1,212 @@
+#include "common/config_reader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sim/machine_config.h"
+
+namespace litmus
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+ConfigReader
+ConfigReader::fromString(const std::string &text)
+{
+    ConfigReader reader;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto comment = line.find('#');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("ConfigReader: line ", lineNo, " is not key=value: '",
+                  line, "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("ConfigReader: empty key on line ", lineNo);
+        reader.set(key, value);
+    }
+    return reader;
+}
+
+ConfigReader
+ConfigReader::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("ConfigReader: cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromString(buffer.str());
+}
+
+bool
+ConfigReader::contains(const std::string &key) const
+{
+    return values_.contains(key);
+}
+
+std::string
+ConfigReader::get(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("ConfigReader: missing key '", key, "'");
+    return it->second;
+}
+
+std::string
+ConfigReader::getString(const std::string &key,
+                        const std::string &fallback) const
+{
+    return contains(key) ? get(key) : fallback;
+}
+
+long
+ConfigReader::getInt(const std::string &key, long fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    const std::string value = get(key);
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || value.empty())
+        fatal("ConfigReader: '", key, "' expects an integer, got '",
+              value, "'");
+    return parsed;
+}
+
+double
+ConfigReader::getDouble(const std::string &key, double fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    const std::string value = get(key);
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || value.empty())
+        fatal("ConfigReader: '", key, "' expects a number, got '", value,
+              "'");
+    return parsed;
+}
+
+bool
+ConfigReader::getBool(const std::string &key, bool fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    std::string value = get(key);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (value == "true" || value == "1" || value == "yes" ||
+        value == "on") {
+        return true;
+    }
+    if (value == "false" || value == "0" || value == "no" ||
+        value == "off") {
+        return false;
+    }
+    fatal("ConfigReader: '", key, "' expects a boolean, got '", value,
+          "'");
+}
+
+void
+ConfigReader::set(const std::string &key, const std::string &value)
+{
+    if (!values_.contains(key))
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+void
+applyMachineOverrides(sim::MachineConfig &machine,
+                      const ConfigReader &config)
+{
+    for (const std::string &key : config.keys()) {
+        if (key == "name") {
+            machine.name = config.get(key);
+        } else if (key == "cores") {
+            machine.cores =
+                static_cast<unsigned>(config.getInt(key, 0));
+        } else if (key == "smt_ways") {
+            machine.smtWays =
+                static_cast<unsigned>(config.getInt(key, 1));
+        } else if (key == "base_ghz") {
+            machine.baseFrequency = config.getDouble(key, 0) * 1e9;
+        } else if (key == "turbo_ghz") {
+            machine.turboFrequency = config.getDouble(key, 0) * 1e9;
+        } else if (key == "l3_capacity_mib") {
+            machine.l3Capacity = static_cast<Bytes>(
+                config.getDouble(key, 0) * 1024.0 * 1024.0);
+        } else if (key == "l3_hit_latency_ns") {
+            machine.l3HitLatencyNs = config.getDouble(key, 0);
+        } else if (key == "mem_latency_ns") {
+            machine.memLatencyNs = config.getDouble(key, 0);
+        } else if (key == "l3_service_rate") {
+            machine.l3ServiceRate = config.getDouble(key, 0);
+        } else if (key == "mem_service_rate") {
+            machine.memServiceRate = config.getDouble(key, 0);
+        } else if (key == "l3_queue_max") {
+            machine.l3QueueMax = config.getDouble(key, 0);
+        } else if (key == "mem_queue_max") {
+            machine.memQueueMax = config.getDouble(key, 0);
+        } else if (key == "queue_gamma") {
+            machine.queueGamma = config.getDouble(key, 0);
+        } else if (key == "capacity_miss_exponent") {
+            machine.capacityMissExponent = config.getDouble(key, 0);
+        } else if (key == "residency_factor") {
+            machine.residencyFactor = config.getDouble(key, 0);
+        } else if (key == "coupling_l3") {
+            machine.privateCouplingL3 = config.getDouble(key, 0);
+        } else if (key == "coupling_mem") {
+            machine.privateCouplingMem = config.getDouble(key, 0);
+        } else if (key == "coupling_saturation_mpki") {
+            machine.couplingSaturationMpki = config.getDouble(key, 0);
+        } else if (key == "coupling_max") {
+            machine.privateCouplingMax = config.getDouble(key, 0);
+        } else if (key == "smt_cpi_multiplier") {
+            machine.smtCpiMultiplier = config.getDouble(key, 0);
+        } else if (key == "time_slice_ms") {
+            machine.timeSlice = config.getDouble(key, 0) * 1e-3;
+        } else if (key == "context_switch_cycles") {
+            machine.contextSwitchCycles = config.getDouble(key, 0);
+        } else if (key == "warmth_max_penalty") {
+            machine.warmthMaxPenalty = config.getDouble(key, 0);
+        } else if (key == "warmth_rate") {
+            machine.warmthRate = config.getDouble(key, 0);
+        } else if (key == "memory_capacity_gib") {
+            machine.memoryCapacity = static_cast<Bytes>(
+                config.getDouble(key, 0) * 1024.0 * 1024.0 * 1024.0);
+        } else {
+            fatal("applyMachineOverrides: unknown key '", key, "'");
+        }
+    }
+    machine.validate();
+}
+
+} // namespace litmus

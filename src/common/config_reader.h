@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Key=value configuration reader for machine overrides.
+ *
+ * Providers tune the simulator's machine model per fleet; a flat
+ * key=value format (one entry per line, '#' comments) keeps those
+ * tweaks out of recompiles:
+ *
+ *     # my-fleet.conf
+ *     cores = 48
+ *     l3_capacity_mib = 60
+ *     mem_service_rate = 2.4
+ */
+
+#ifndef LITMUS_COMMON_CONFIG_READER_H
+#define LITMUS_COMMON_CONFIG_READER_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace litmus
+{
+
+/** Parsed key=value configuration. */
+class ConfigReader
+{
+  public:
+    ConfigReader() = default;
+
+    /** Parse from text; fatal() on malformed lines. */
+    static ConfigReader fromString(const std::string &text);
+
+    /** Parse from a file; fatal() when unreadable. */
+    static ConfigReader fromFile(const std::string &path);
+
+    /** True when the key exists. */
+    bool contains(const std::string &key) const;
+
+    /** Raw string value; fatal() when missing. */
+    std::string get(const std::string &key) const;
+
+    /** Typed lookups with defaults. fatal() on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    long getInt(const std::string &key, long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** All keys, in file order (for validation sweeps). */
+    const std::vector<std::string> &keys() const { return order_; }
+
+    /** Set / override programmatically. */
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace litmus
+
+namespace litmus::sim
+{
+struct MachineConfig;
+} // namespace litmus::sim
+
+namespace litmus
+{
+
+/**
+ * Apply recognized keys onto a machine config (unknown keys are
+ * fatal() so typos surface immediately). Recognized keys:
+ * name, cores, smt_ways, base_ghz, turbo_ghz, l3_capacity_mib,
+ * l3_hit_latency_ns, mem_latency_ns, l3_service_rate,
+ * mem_service_rate, l3_queue_max, mem_queue_max, queue_gamma,
+ * capacity_miss_exponent, residency_factor, coupling_l3,
+ * coupling_mem, coupling_saturation_mpki, coupling_max,
+ * smt_cpi_multiplier, time_slice_ms, context_switch_cycles,
+ * warmth_max_penalty, warmth_rate, memory_capacity_gib.
+ */
+void applyMachineOverrides(sim::MachineConfig &machine,
+                           const ConfigReader &config);
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_CONFIG_READER_H

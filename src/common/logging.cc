@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace litmus
+{
+
+namespace
+{
+
+LogLevel threshold = LogLevel::Inform;
+
+} // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    threshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return threshold;
+}
+
+namespace detail
+{
+
+void
+emitFatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+emitPanic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (threshold <= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (threshold <= LogLevel::Inform)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace litmus

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * fatal() is for user/configuration errors (clean exit); panic() is for
+ * internal invariant violations (abort); warn()/inform() report
+ * conditions without stopping the run. All accept printf-style
+ * formatting via std::format-like variadic composition kept simple with
+ * iostream building to avoid a fmt dependency.
+ */
+
+#ifndef LITMUS_COMMON_LOGGING_H
+#define LITMUS_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace litmus
+{
+
+/** Severity of a log record, used by the global log filter. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Concatenate all arguments using operator<< into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit a formed record; terminates the process for Fatal/Panic. */
+[[noreturn]] void emitFatal(const std::string &msg);
+[[noreturn]] void emitPanic(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/** Set the minimum level that is printed (Fatal/Panic always print). */
+void setLogThreshold(LogLevel level);
+
+/** Current threshold, exposed for tests. */
+LogLevel logThreshold();
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration,
+ * impossible experiment parameters) and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort so a debugger or core dump can capture the state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_LOGGING_H

@@ -1,0 +1,146 @@
+#include "common/regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace litmus
+{
+
+namespace
+{
+
+struct OlsResult
+{
+    double slope;
+    double intercept;
+    double r2;
+};
+
+/** Shared OLS core for the linear and log fits. */
+OlsResult
+ols(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("regression: size mismatch (", xs.size(), " vs ",
+              ys.size(), ")");
+    if (xs.size() < 2)
+        fatal("regression: need at least two samples, got ", xs.size());
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-12)
+        fatal("regression: degenerate x values (all equal)");
+
+    OlsResult r{};
+    r.slope = (n * sxy - sx * sy) / denom;
+    r.intercept = (sy - r.slope * sx) / n;
+
+    const double my = sy / n;
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = r.slope * xs[i] + r.intercept;
+        ssRes += (ys[i] - pred) * (ys[i] - pred);
+        ssTot += (ys[i] - my) * (ys[i] - my);
+    }
+    r.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+    return r;
+}
+
+} // namespace
+
+LinearFit
+LinearFit::fit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    const OlsResult r = ols(xs, ys);
+    LinearFit f(r.slope, r.intercept);
+    f.r2_ = r.r2;
+    f.samples_ = xs.size();
+    return f;
+}
+
+LinearFit::LinearFit(double slope, double intercept)
+    : slope_(slope), intercept_(intercept)
+{
+}
+
+double
+LinearFit::predict(double x) const
+{
+    return slope_ * x + intercept_;
+}
+
+double
+LinearFit::invert(double y) const
+{
+    if (std::fabs(slope_) < 1e-12)
+        fatal("LinearFit::invert on a flat fit");
+    return (y - intercept_) / slope_;
+}
+
+LogFit
+LogFit::fit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    std::vector<double> lnx;
+    lnx.reserve(xs.size());
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("LogFit requires positive x, got ", x);
+        lnx.push_back(std::log(x));
+    }
+    const OlsResult r = ols(lnx, ys);
+    LogFit f(r.intercept, r.slope);
+    f.r2_ = r.r2;
+    return f;
+}
+
+LogFit::LogFit(double a, double b) : a_(a), b_(b) {}
+
+double
+LogFit::predict(double x) const
+{
+    if (x <= 0.0)
+        fatal("LogFit::predict requires positive x, got ", x);
+    return a_ + b_ * std::log(x);
+}
+
+double
+LogFit::invert(double y) const
+{
+    if (std::fabs(b_) < 1e-12)
+        fatal("LogFit::invert on a flat fit");
+    return std::exp((y - a_) / b_);
+}
+
+double
+logBlendWeight(double v, double lo, double hi)
+{
+    if (lo <= 0.0 || hi <= 0.0 || v <= 0.0)
+        fatal("logBlendWeight requires positive inputs (v=", v, " lo=",
+              lo, " hi=", hi, ")");
+    if (hi < lo)
+        std::swap(lo, hi);
+    if (v <= lo)
+        return 0.0;
+    if (v >= hi)
+        return 1.0;
+    const double span = std::log(hi) - std::log(lo);
+    if (span < 1e-12)
+        return 0.5;
+    return (std::log(v) - std::log(lo)) / span;
+}
+
+double
+lerp(double a, double b, double t)
+{
+    return a + t * (b - a);
+}
+
+} // namespace litmus

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Regression models backing the Litmus discount estimation.
+ *
+ * The paper fits (Section 6, Figures 9 and 10):
+ *  - linear regressions mapping startup slowdown -> reference-function
+ *    slowdown, one per traffic generator, and
+ *  - logarithmic regressions mapping stress level / L3 misses so the
+ *    observed miss count can be placed between the CT-Gen and MB-Gen
+ *    extremes with logarithmic interpolation.
+ */
+
+#ifndef LITMUS_COMMON_REGRESSION_H
+#define LITMUS_COMMON_REGRESSION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace litmus
+{
+
+/**
+ * Ordinary least squares fit of y = slope * x + intercept.
+ *
+ * Also exposes the inverse mapping (x for a given y), which the pricing
+ * model uses to turn an observed startup slowdown back into an abstract
+ * congestion coordinate.
+ */
+class LinearFit
+{
+  public:
+    /** Fit from paired samples; requires at least two distinct x. */
+    static LinearFit fit(const std::vector<double> &xs,
+                         const std::vector<double> &ys);
+
+    /** Construct directly from coefficients (tests, synthetic models). */
+    LinearFit(double slope, double intercept);
+
+    LinearFit() = default;
+
+    double slope() const { return slope_; }
+    double intercept() const { return intercept_; }
+
+    /** Coefficient of determination of the fit (1 = perfect). */
+    double r2() const { return r2_; }
+
+    /** Predicted y at x. */
+    double predict(double x) const;
+
+    /** Inverse prediction: the x that maps to y. Requires slope != 0. */
+    double invert(double y) const;
+
+    /** Number of samples the fit was computed from. */
+    std::size_t sampleCount() const { return samples_; }
+
+  private:
+    double slope_ = 0.0;
+    double intercept_ = 0.0;
+    double r2_ = 1.0;
+    std::size_t samples_ = 0;
+};
+
+/**
+ * Least squares fit of y = a + b * ln(x) for x > 0.
+ *
+ * Used for the L3-miss models of Figure 10(a): startup slowdown grows
+ * roughly logarithmically in the observed machine L3 miss count.
+ */
+class LogFit
+{
+  public:
+    /** Fit from paired samples; all xs must be positive. */
+    static LogFit fit(const std::vector<double> &xs,
+                      const std::vector<double> &ys);
+
+    LogFit(double a, double b);
+    LogFit() = default;
+
+    double a() const { return a_; }
+    double b() const { return b_; }
+    double r2() const { return r2_; }
+
+    /** Predicted y at x (x > 0). */
+    double predict(double x) const;
+
+    /** Inverse prediction: x such that predict(x) == y (b != 0). */
+    double invert(double y) const;
+
+  private:
+    double a_ = 0.0;
+    double b_ = 0.0;
+    double r2_ = 1.0;
+};
+
+/**
+ * Logarithmic interpolation weight of value v between lo and hi
+ * (all positive): 0 when v <= lo, 1 when v >= hi, and
+ * (ln v - ln lo) / (ln hi - ln lo) in between.
+ *
+ * This is the Figure 10 rule that places an observed L3 miss count
+ * between the CT-Gen and MB-Gen extremes.
+ */
+double logBlendWeight(double v, double lo, double hi);
+
+/** Plain linear interpolation helper: a + t * (b - a). */
+double lerp(double a, double b, double t);
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_REGRESSION_H

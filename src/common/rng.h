@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every stochastic decision in the simulator (workload selection,
+ * per-invocation jitter, scheduler tie-breaking) draws from an Rng
+ * seeded explicitly by the experiment. The generator is xoshiro256**,
+ * seeded through SplitMix64 so that nearby seeds give independent
+ * streams.
+ */
+
+#ifndef LITMUS_COMMON_RNG_H
+#define LITMUS_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace litmus
+{
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also feed <random>
+ * distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Multiplicative jitter: a lognormal-ish factor close to 1.
+     * @param rel relative spread, e.g. 0.02 for about +/-2%.
+     */
+    double jitter(double rel);
+
+    /** Exponential variate with the given mean. Requires mean > 0. */
+    double exponential(double mean);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Derive an independent child stream (for per-task generators). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_RNG_H

@@ -1,0 +1,178 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace litmus
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("gmean of an empty series");
+    double logSum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("gmean requires positive entries, got ", x);
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("minOf of an empty series");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("maxOf of an empty series");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double pct)
+{
+    if (xs.empty())
+        fatal("percentile of an empty series");
+    if (pct < 0.0 || pct > 100.0)
+        fatal("percentile out of range: ", pct);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double pos = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+meanAbs(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += std::fabs(x);
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+gmeanAbs(const std::vector<double> &xs)
+{
+    std::vector<double> abs;
+    abs.reserve(xs.size());
+    for (double x : xs) {
+        const double a = std::fabs(x);
+        // Ignore exact zeros: a zero error would collapse the gmean and
+        // the paper's "abs geomean" bar is computed over nonzero errors.
+        if (a > 0.0)
+            abs.push_back(a);
+    }
+    if (abs.empty())
+        return 0.0;
+    return gmean(abs);
+}
+
+std::vector<double>
+ratio(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.empty())
+        fatal("ratio: size mismatch (", a.size(), " vs ", b.size(), ")");
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (b[i] == 0.0)
+            fatal("ratio: zero denominator at index ", i);
+        out[i] = a[i] / b[i];
+    }
+    return out;
+}
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+} // namespace litmus

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * gem5-style statistics registry: named scalar counters, averages and
+ * histograms that components register once and a harness dumps at the
+ * end of a run.
+ *
+ * Components own their Stat objects; a StatsRegistry holds non-owning
+ * references grouped by component name and renders an aligned report
+ * or CSV. Used by the engine to export utilization/ latency summaries
+ * and by experiment drivers for custom instrumentation.
+ */
+
+#ifndef LITMUS_COMMON_STATS_REGISTRY_H
+#define LITMUS_COMMON_STATS_REGISTRY_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace litmus
+{
+
+/** Base class of all registrable statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string description);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return description_; }
+
+    /** One-line formatted value. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string description_;
+};
+
+/** Monotonic scalar counter. */
+class CounterStat : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void add(double v = 1.0) { value_ += v; }
+    double value() const { return value_; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean/min/max accumulator (wraps OnlineStats). */
+class AverageStat : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v) { acc_.add(v); }
+    const OnlineStats &accumulator() const { return acc_; }
+
+    std::string render() const override;
+    void reset() override { acc_.reset(); }
+
+  private:
+    OnlineStats acc_;
+};
+
+/** Fixed-range linear histogram. */
+class HistogramStat : public Stat
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket
+     * @param buckets bucket count (underflow/overflow tracked apart)
+     */
+    HistogramStat(std::string name, std::string description, double lo,
+                  double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Grouped collection of non-owning stat references.
+ */
+class StatsRegistry
+{
+  public:
+    /** Register a stat under a component group. */
+    void add(const std::string &group, Stat &stat);
+
+    /** Render all groups as an aligned report. */
+    void dump(std::ostream &os) const;
+
+    /** Render as CSV (group,name,value,description). */
+    void dumpCsv(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string group;
+        Stat *stat;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_STATS_REGISTRY_H

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/regression.h"
+
+namespace litmus
+{
+
+void
+InterpTable::add(double key, double value)
+{
+    if (!keys_.empty() && key <= keys_.back())
+        fatal("InterpTable: keys must be strictly increasing (", key,
+              " after ", keys_.back(), ")");
+    keys_.push_back(key);
+    values_.push_back(value);
+}
+
+double
+InterpTable::minKey() const
+{
+    if (empty())
+        fatal("InterpTable::minKey on empty table");
+    return keys_.front();
+}
+
+double
+InterpTable::maxKey() const
+{
+    if (empty())
+        fatal("InterpTable::maxKey on empty table");
+    return keys_.back();
+}
+
+double
+InterpTable::at(double key) const
+{
+    if (empty())
+        fatal("InterpTable::at on empty table");
+    if (key <= keys_.front())
+        return values_.front();
+    if (key >= keys_.back())
+        return values_.back();
+    const auto it = std::upper_bound(keys_.begin(), keys_.end(), key);
+    const auto hi = static_cast<std::size_t>(it - keys_.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (key - keys_[lo]) / (keys_[hi] - keys_[lo]);
+    return lerp(values_[lo], values_[hi], t);
+}
+
+double
+InterpTable::keyFor(double v) const
+{
+    if (empty())
+        fatal("InterpTable::keyFor on empty table");
+    if (values_.size() == 1)
+        return keys_.front();
+    // Verify monotonicity lazily: scan for the first bracketing segment.
+    if (v <= values_.front())
+        return keys_.front();
+    if (v >= values_.back())
+        return keys_.back();
+    for (std::size_t i = 1; i < values_.size(); ++i) {
+        const double a = values_[i - 1];
+        const double b = values_[i];
+        if ((v >= a && v <= b) || (v <= a && v >= b)) {
+            if (b == a)
+                return keys_[i - 1];
+            const double t = (v - a) / (b - a);
+            return lerp(keys_[i - 1], keys_[i], t);
+        }
+    }
+    // Non-monotone values and v outside every segment: clamp to the end.
+    return keys_.back();
+}
+
+} // namespace litmus

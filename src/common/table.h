@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Interpolating lookup tables for the congestion / performance tables.
+ *
+ * The provider-side tables of Figure 5 are indexed by discrete stress
+ * levels but queried at continuous congestion coordinates, so the core
+ * container is a monotone-keyed table with linear interpolation and
+ * clamped extrapolation.
+ */
+
+#ifndef LITMUS_COMMON_TABLE_H
+#define LITMUS_COMMON_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace litmus
+{
+
+/**
+ * A one-dimensional table of (key, value) pairs with strictly
+ * increasing keys, supporting linear interpolation between entries and
+ * clamping outside the key range.
+ */
+class InterpTable
+{
+  public:
+    InterpTable() = default;
+
+    /** Append an entry; keys must arrive in strictly increasing order. */
+    void add(double key, double value);
+
+    /** Number of entries. */
+    std::size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+
+    /** Key range (fatal on an empty table). */
+    double minKey() const;
+    double maxKey() const;
+
+    /** Interpolated value at key (clamped outside the range). */
+    double at(double key) const;
+
+    /**
+     * Inverse lookup for tables whose values are monotone increasing:
+     * the key whose value equals v (clamped to the value range).
+     */
+    double keyFor(double v) const;
+
+    /** Direct access to the stored series (for fits and printing). */
+    const std::vector<double> &keys() const { return keys_; }
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> keys_;
+    std::vector<double> values_;
+};
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_TABLE_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Strong unit aliases shared across the Litmus libraries.
+ *
+ * The simulator accounts for progress in cycles and instructions and for
+ * wall-clock time in seconds. We keep these as plain arithmetic types
+ * (aliased for readability) because they flow through tight per-quantum
+ * loops; the naming convention makes mixed-unit bugs visible in review.
+ */
+
+#ifndef LITMUS_COMMON_UNITS_H
+#define LITMUS_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace litmus
+{
+
+/** Number of CPU clock cycles (frequency-dependent). */
+using Cycles = double;
+
+/** Number of retired instructions. */
+using Instructions = double;
+
+/** Wall-clock time in seconds. */
+using Seconds = double;
+
+/** Clock frequency in Hz. */
+using Hertz = double;
+
+/** Bytes of storage or memory. */
+using Bytes = std::uint64_t;
+
+/** Convenience literals for cache/memory sizes. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** One million instructions, the natural unit for phase lengths. */
+constexpr Instructions operator""_Minstr(unsigned long long v)
+{
+    return static_cast<Instructions>(v) * 1e6;
+}
+
+/** Microseconds / milliseconds expressed in seconds. */
+constexpr Seconds operator""_us(unsigned long long v)
+{
+    return static_cast<Seconds>(v) * 1e-6;
+}
+constexpr Seconds operator""_ms(unsigned long long v)
+{
+    return static_cast<Seconds>(v) * 1e-3;
+}
+
+/** Gigahertz literal for core frequencies. */
+constexpr Hertz operator""_GHz(long double v)
+{
+    return static_cast<Hertz>(v) * 1e9;
+}
+constexpr Hertz operator""_GHz(unsigned long long v)
+{
+    return static_cast<Hertz>(v) * 1e9;
+}
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_UNITS_H

@@ -1,0 +1,73 @@
+#include "core/billing.h"
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+BillingLedger::BillingLedger(BillingConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.usdPerGiBSecond <= 0 || cfg_.billingFrequency <= 0)
+        fatal("BillingLedger: rates must be positive");
+}
+
+const BillRecord &
+BillingLedger::record(const std::string &tenant,
+                      const std::string &function,
+                      const sim::TaskCounters &counters,
+                      const PriceQuote &quote, Bytes memory)
+{
+    BillRecord rec;
+    rec.tenant = tenant;
+    rec.function = function;
+    rec.cpuSeconds = counters.cycles / cfg_.billingFrequency;
+    rec.memoryGiB = static_cast<double>(memory) / (1024.0 * 1024 * 1024);
+    rec.quote = quote;
+
+    const double gbSeconds = rec.cpuSeconds * rec.memoryGiB;
+    rec.commercialUsd = gbSeconds * cfg_.usdPerGiBSecond;
+    rec.litmusUsd = rec.commercialUsd * quote.litmusNormalized();
+
+    records_.push_back(rec);
+    return records_.back();
+}
+
+double
+BillingLedger::totalCommercialUsd() const
+{
+    double total = 0;
+    for (const BillRecord &rec : records_)
+        total += rec.commercialUsd;
+    return total;
+}
+
+double
+BillingLedger::totalLitmusUsd() const
+{
+    double total = 0;
+    for (const BillRecord &rec : records_)
+        total += rec.litmusUsd;
+    return total;
+}
+
+double
+BillingLedger::aggregateDiscount() const
+{
+    const double commercial = totalCommercialUsd();
+    if (commercial <= 0)
+        return 0.0;
+    return 1.0 - totalLitmusUsd() / commercial;
+}
+
+std::vector<const BillRecord *>
+BillingLedger::tenantRecords(const std::string &tenant) const
+{
+    std::vector<const BillRecord *> out;
+    for (const BillRecord &rec : records_) {
+        if (rec.tenant == tenant)
+            out.push_back(&rec);
+    }
+    return out;
+}
+
+} // namespace litmus::pricing

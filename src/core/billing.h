@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Billing ledger: turns price quotes into pay-as-you-go dollar
+ * charges (execution time x allocated memory x unit rate) and keeps
+ * per-tenant records — the user-facing surface of the library.
+ */
+
+#ifndef LITMUS_CORE_BILLING_H
+#define LITMUS_CORE_BILLING_H
+
+#include <string>
+#include <vector>
+
+#include "core/pricing_model.h"
+
+namespace litmus::pricing
+{
+
+/** One billed invocation. */
+struct BillRecord
+{
+    std::string function;
+    std::string tenant;
+
+    /** Billed on-CPU duration (seconds, from cycles at billing freq). */
+    Seconds cpuSeconds = 0;
+
+    /** Allocated memory in GiB. */
+    double memoryGiB = 0;
+
+    /** The three-way quote behind the charge. */
+    PriceQuote quote;
+
+    /** Final charges in USD. */
+    double commercialUsd = 0;
+    double litmusUsd = 0;
+
+    /** Discount granted, as a fraction of the commercial charge. */
+    double discount() const
+    {
+        return commercialUsd > 0
+                   ? 1.0 - litmusUsd / commercialUsd
+                   : 0.0;
+    }
+};
+
+/** Ledger configuration. */
+struct BillingConfig
+{
+    /** Unit rate in USD per GiB-second (AWS Lambda x86 list price). */
+    double usdPerGiBSecond = 0.0000166667;
+
+    /** Frequency used to convert cycles into billed seconds. */
+    Hertz billingFrequency = 2.8e9;
+};
+
+/**
+ * Accumulates bill records and provides tenant/aggregate summaries.
+ */
+class BillingLedger
+{
+  public:
+    explicit BillingLedger(BillingConfig cfg = BillingConfig{});
+
+    /**
+     * Record one invocation.
+     *
+     * @param tenant    billing account
+     * @param function  function name
+     * @param counters  execution counters
+     * @param quote     three-way price quote for the invocation
+     * @param memory    allocated memory in bytes
+     */
+    const BillRecord &record(const std::string &tenant,
+                             const std::string &function,
+                             const sim::TaskCounters &counters,
+                             const PriceQuote &quote, Bytes memory);
+
+    const std::vector<BillRecord> &records() const { return records_; }
+
+    /** Total commercial / Litmus charges across all records (USD). */
+    double totalCommercialUsd() const;
+    double totalLitmusUsd() const;
+
+    /** Aggregate discount fraction across the ledger. */
+    double aggregateDiscount() const;
+
+    /** Records belonging to one tenant. */
+    std::vector<const BillRecord *>
+    tenantRecords(const std::string &tenant) const;
+
+    const BillingConfig &config() const { return cfg_; }
+
+  private:
+    BillingConfig cfg_;
+    std::vector<BillRecord> records_;
+};
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_BILLING_H

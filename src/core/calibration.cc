@@ -1,0 +1,244 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "sim/machine.h"
+#include "workload/traffic_gen.h"
+
+namespace litmus::pricing
+{
+
+namespace
+{
+
+using workload::FunctionSpec;
+using workload::GeneratorKind;
+using workload::Language;
+
+/** Bare startup task used as the congestion-table subject. */
+std::unique_ptr<workload::ProgramTask>
+makeStartupTask(Language lang, Instructions window_override = 0)
+{
+    Instructions window = window_override > 0
+                              ? window_override
+                              : workload::probeWindow(lang);
+    // The probe must close inside the startup (shorter runtimes like
+    // Go cap the usable window).
+    window = std::min(
+        window,
+        workload::startupProgram(lang).totalInstructions() * 0.9);
+    return std::make_unique<workload::ProgramTask>(
+        "start-" + workload::languageSuffix(lang),
+        workload::startupProgram(lang), window);
+}
+
+/** Per-cell measurement context: engine + optional sharing churn. */
+class CellEnvironment
+{
+  public:
+    CellEnvironment(const CalibrationConfig &cfg, GeneratorKind gen,
+                    unsigned level, std::uint64_t seed)
+        : engine_(cfg.machine, cfg.policy)
+    {
+        if (cfg.sharingFunctions > 0) {
+            workload::InvokerConfig icfg;
+            icfg.placement = workload::InvokerConfig::Placement::Pooled;
+            icfg.targetCount = cfg.sharingFunctions;
+            icfg.cpuPool = cfg.sharingCpus;
+            icfg.seed = seed;
+            invoker_ =
+                std::make_unique<workload::Invoker>(engine_, icfg);
+        }
+
+        engine_.onCompletion([this](sim::Task &task) {
+            if (invoker_ && invoker_->handleCompletion(task))
+                return;
+            lastCounters_ = task.counters();
+            lastProbe_ = task.probe();
+            captured_ = true;
+        });
+
+        if (invoker_)
+            invoker_->start();
+
+        if (level > 0)
+            workload::spawnGenerator(engine_, gen, level,
+                                     cfg.generatorFirstCpu);
+
+        engine_.run(cfg.warmup);
+    }
+
+    /** Run a subject task to completion; returns its final counters. */
+    sim::TaskCounters
+    measure(std::unique_ptr<sim::Task> subject,
+            std::vector<unsigned> affinity, sim::ProbeCapture *probe_out)
+    {
+        subject->setAffinity(std::move(affinity));
+        captured_ = false;
+        sim::Task &handle = engine_.add(std::move(subject));
+        const std::uint64_t id = handle.id();
+        engine_.runUntilCompleteId(id);
+        if (!captured_)
+            panic("CellEnvironment: completion not captured");
+        if (probe_out)
+            *probe_out = lastProbe_;
+        return lastCounters_;
+    }
+
+    sim::Engine &engine() { return engine_; }
+
+  private:
+    sim::Engine engine_;
+    std::unique_ptr<workload::Invoker> invoker_;
+    sim::TaskCounters lastCounters_;
+    sim::ProbeCapture lastProbe_;
+    bool captured_ = false;
+};
+
+} // namespace
+
+void
+CalibrationConfig::validate() const
+{
+    machine.validate();
+    if (levels.empty())
+        fatal("CalibrationConfig: no stress levels");
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+        if (levels[i] <= levels[i - 1])
+            fatal("CalibrationConfig: levels must increase");
+    }
+    const unsigned maxLevel = levels.back();
+    if (generatorFirstCpu + maxLevel > machine.hwThreads())
+        fatal("CalibrationConfig: level ", maxLevel,
+              " does not fit behind cpu ", generatorFirstCpu, " on ",
+              machine.hwThreads(), " hardware threads");
+    if (sharingFunctions > 0) {
+        if (sharingCpus.empty())
+            fatal("CalibrationConfig: sharing enabled without CPUs");
+        for (unsigned cpu : sharingCpus) {
+            if (cpu >= generatorFirstCpu &&
+                cpu < generatorFirstCpu + maxLevel) {
+                fatal("CalibrationConfig: sharing cpu ", cpu,
+                      " overlaps generator range");
+            }
+        }
+    }
+    if (repetitions == 0)
+        fatal("CalibrationConfig: repetitions must be positive");
+}
+
+SoloBaseline
+measureSoloBaseline(const sim::MachineConfig &machine,
+                    const FunctionSpec &spec,
+                    sim::FrequencyPolicy policy)
+{
+    const sim::RunResult run = sim::runSolo(
+        machine,
+        [&] { return workload::makeNominalInvocation(spec, false); },
+        policy);
+    SoloBaseline solo;
+    solo.privCpi = run.counters.privateCycles() / run.counters.instructions;
+    solo.sharedCpi =
+        run.counters.stallSharedCycles / run.counters.instructions;
+    return solo;
+}
+
+CalibrationResult
+calibrate(const CalibrationConfig &cfg)
+{
+    cfg.validate();
+    CalibrationResult result;
+
+    std::vector<const FunctionSpec *> refs = cfg.referencePool;
+    if (refs.empty())
+        refs = workload::referenceSet();
+
+    // ---- Congestion-free baselines ---------------------------------
+    for (Language lang : workload::allLanguages()) {
+        const sim::RunResult solo = sim::runSolo(
+            cfg.machine,
+            [&] {
+                return makeStartupTask(lang, cfg.probeWindowOverride);
+            },
+            cfg.policy);
+        result.congestion.setBaseline(lang, readProbe(solo.probe));
+    }
+
+    std::map<std::string, SoloBaseline> refSolo;
+    for (const FunctionSpec *spec : refs)
+        refSolo[spec->name] =
+            measureSoloBaseline(cfg.machine, *spec, cfg.policy);
+    result.referenceSolo = refSolo;
+
+    const std::vector<unsigned> subjectAffinity =
+        cfg.sharingFunctions > 0 ? cfg.sharingCpus
+                                 : std::vector<unsigned>{cfg.subjectCpu};
+
+    // ---- Stress sweep ----------------------------------------------
+    // One environment per (generator, level) cell; every subject runs
+    // sequentially inside it, exactly as a provider would sweep.
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        for (unsigned level : cfg.levels) {
+            CellEnvironment env(cfg, gen, level, cfg.seed + 31 * level);
+
+            // Congestion table: startup probes per language.
+            for (Language lang : workload::allLanguages()) {
+                std::vector<double> priv, shared, total, l3;
+                for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+                    sim::ProbeCapture probe;
+                    env.measure(
+                        makeStartupTask(lang, cfg.probeWindowOverride),
+                        subjectAffinity, &probe);
+                    const ProbeReading reading = readProbe(probe);
+                    const ProbeSlowdown s = slowdownOf(
+                        reading, result.congestion.baseline(lang));
+                    priv.push_back(s.priv);
+                    shared.push_back(s.shared);
+                    total.push_back(s.total);
+                    l3.push_back(reading.machineL3MissPerUs);
+                }
+                CongestionEntry entry;
+                entry.privSlowdown = gmean(priv);
+                entry.sharedSlowdown = gmean(shared);
+                entry.totalSlowdown = gmean(total);
+                entry.l3MissPerUs = mean(l3);
+                result.congestion.add(lang, gen, level, entry);
+            }
+
+            // Performance table: reference-function slowdown gmeans.
+            std::vector<double> priv, shared, total;
+            for (const FunctionSpec *spec : refs) {
+                const SoloBaseline &solo = refSolo.at(spec->name);
+                std::vector<double> p, s, t;
+                for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+                    const sim::TaskCounters counters = env.measure(
+                        workload::makeNominalInvocation(*spec, false),
+                        subjectAffinity, nullptr);
+                    const double privCpi =
+                        counters.privateCycles() / counters.instructions;
+                    const double sharedCpi = counters.stallSharedCycles /
+                                             counters.instructions;
+                    p.push_back(privCpi / solo.privCpi);
+                    s.push_back(sharedCpi / solo.sharedCpi);
+                    t.push_back((privCpi + sharedCpi) / solo.totalCpi());
+                }
+                priv.push_back(gmean(p));
+                shared.push_back(gmean(s));
+                total.push_back(gmean(t));
+            }
+            PerformanceEntry entry;
+            entry.privSlowdown = gmean(priv);
+            entry.sharedSlowdown = gmean(shared);
+            entry.totalSlowdown = gmean(total);
+            result.performance.add(gen, level, entry);
+        }
+    }
+
+    return result;
+}
+
+} // namespace litmus::pricing

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Provider-side offline calibration (Section 6, Steps 1 and 2).
+ *
+ * The Calibrator fills the congestion and performance tables by
+ * simulating the provider's procedure: stress the machine with CT-Gen
+ * and MB-Gen at a range of levels; at each level run the language
+ * startups (congestion table) and the reference functions
+ * (performance table); normalize everything against congestion-free
+ * solo runs.
+ *
+ * Method 2 of Section 7.2 is the same procedure with a temporal-
+ * sharing environment present: a population of functions shares a
+ * small CPU pool with the subject while the generators stress the
+ * remaining cores.
+ */
+
+#ifndef LITMUS_CORE_CALIBRATION_H
+#define LITMUS_CORE_CALIBRATION_H
+
+#include <map>
+#include <string>
+
+#include "core/congestion_table.h"
+#include "core/performance_table.h"
+#include "workload/invoker.h"
+#include "workload/suite.h"
+
+namespace litmus::pricing
+{
+
+/** Solo per-component CPI of a whole function (ideal-price oracle). */
+struct SoloBaseline
+{
+    double privCpi = 0.0;
+    double sharedCpi = 0.0;
+
+    double totalCpi() const { return privCpi + sharedCpi; }
+};
+
+/** Calibration configuration. */
+struct CalibrationConfig
+{
+    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218();
+    sim::FrequencyPolicy policy = sim::FrequencyPolicy::Fixed;
+
+    /** Stress levels to record (strictly increasing). */
+    std::vector<unsigned> levels = {2, 4, 6, 8, 10, 12, 14,
+                                    16, 18, 20, 22, 24, 26};
+
+    /** CPU the subject runs on in dedicated (Method-agnostic) mode. */
+    unsigned subjectCpu = 0;
+
+    /** First CPU assigned to generator threads. */
+    unsigned generatorFirstCpu = 1;
+
+    /**
+     * Temporal-sharing environment (Method 2): when positive, this
+     * many functions churn on sharingCpus, and the subject joins that
+     * pool instead of owning subjectCpu.
+     */
+    unsigned sharingFunctions = 0;
+    std::vector<unsigned> sharingCpus;
+
+    /** Reference functions (defaults to the Table 1 asterisks). */
+    std::vector<const workload::FunctionSpec *> referencePool;
+
+    /** Subject-measurement repetitions per cell (averaged). */
+    unsigned repetitions = 1;
+
+    /**
+     * Probe window override in instructions (0 = language defaults).
+     * Must match the runtime probes that will consult these tables.
+     */
+    Instructions probeWindowOverride = 0;
+
+    /** Simulated warmup before measuring each cell. */
+    Seconds warmup = 0.08;
+
+    std::uint64_t seed = 7;
+
+    void validate() const;
+};
+
+/** Everything calibration produces. */
+struct CalibrationResult
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+
+    /** Solo baselines of the reference functions (diagnostics). */
+    std::map<std::string, SoloBaseline> referenceSolo;
+};
+
+/**
+ * Measure the solo baseline of a function spec on a machine (runs it
+ * alone, no jitter).
+ */
+SoloBaseline measureSoloBaseline(const sim::MachineConfig &machine,
+                                 const workload::FunctionSpec &spec,
+                                 sim::FrequencyPolicy policy =
+                                     sim::FrequencyPolicy::Fixed);
+
+/** Run the full calibration procedure. */
+CalibrationResult calibrate(const CalibrationConfig &cfg);
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_CALIBRATION_H

@@ -1,0 +1,128 @@
+#include "core/congestion_table.h"
+
+#include "common/logging.h"
+#include "common/regression.h"
+
+namespace litmus::pricing
+{
+
+void
+CongestionTable::setBaseline(Language lang, const ProbeReading &reading)
+{
+    if (!reading.valid())
+        fatal("CongestionTable::setBaseline: invalid reading");
+    baselines_[lang] = reading;
+}
+
+const ProbeReading &
+CongestionTable::baseline(Language lang) const
+{
+    const auto it = baselines_.find(lang);
+    if (it == baselines_.end())
+        fatal("CongestionTable: no baseline for ",
+              workload::languageName(lang));
+    return it->second;
+}
+
+void
+CongestionTable::add(Language lang, GeneratorKind gen, unsigned level,
+                     const CongestionEntry &entry)
+{
+    Series &s = series_[{lang, gen}];
+    if (!s.levels.empty() && level <= s.levels.back())
+        fatal("CongestionTable::add: levels must increase (", level,
+              " after ", s.levels.back(), ")");
+    s.levels.push_back(level);
+    s.priv.push_back(entry.privSlowdown);
+    s.shared.push_back(entry.sharedSlowdown);
+    s.total.push_back(entry.totalSlowdown);
+    s.l3.push_back(entry.l3MissPerUs);
+}
+
+const CongestionTable::Series &
+CongestionTable::seriesFor(Language lang, GeneratorKind gen) const
+{
+    const auto it = series_.find({lang, gen});
+    if (it == series_.end())
+        fatal("CongestionTable: no series for ",
+              workload::languageName(lang), " / ",
+              workload::generatorName(gen));
+    return it->second;
+}
+
+namespace
+{
+
+/** Interpolate one column of a series at a fractional level. */
+double
+interpColumn(const std::vector<double> &levels,
+             const std::vector<double> &col, double level)
+{
+    if (level <= levels.front())
+        return col.front();
+    if (level >= levels.back())
+        return col.back();
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+        if (level <= levels[i]) {
+            const double t =
+                (level - levels[i - 1]) / (levels[i] - levels[i - 1]);
+            return lerp(col[i - 1], col[i], t);
+        }
+    }
+    return col.back();
+}
+
+} // namespace
+
+CongestionEntry
+CongestionTable::at(Language lang, GeneratorKind gen, double level) const
+{
+    const Series &s = seriesFor(lang, gen);
+    if (s.levels.empty())
+        fatal("CongestionTable::at: empty series");
+    CongestionEntry e;
+    e.privSlowdown = interpColumn(s.levels, s.priv, level);
+    e.sharedSlowdown = interpColumn(s.levels, s.shared, level);
+    e.totalSlowdown = interpColumn(s.levels, s.total, level);
+    e.l3MissPerUs = interpColumn(s.levels, s.l3, level);
+    return e;
+}
+
+const std::vector<double> &
+CongestionTable::levels(Language lang, GeneratorKind gen) const
+{
+    return seriesFor(lang, gen).levels;
+}
+
+const std::vector<double> &
+CongestionTable::privSeries(Language lang, GeneratorKind gen) const
+{
+    return seriesFor(lang, gen).priv;
+}
+
+const std::vector<double> &
+CongestionTable::sharedSeries(Language lang, GeneratorKind gen) const
+{
+    return seriesFor(lang, gen).shared;
+}
+
+const std::vector<double> &
+CongestionTable::totalSeries(Language lang, GeneratorKind gen) const
+{
+    return seriesFor(lang, gen).total;
+}
+
+const std::vector<double> &
+CongestionTable::l3Series(Language lang, GeneratorKind gen) const
+{
+    return seriesFor(lang, gen).l3;
+}
+
+bool
+CongestionTable::populated(Language lang, GeneratorKind gen) const
+{
+    const auto it = series_.find({lang, gen});
+    return it != series_.end() && it->second.levels.size() >= 2;
+}
+
+} // namespace litmus::pricing

@@ -1,0 +1,53 @@
+#include "core/litmus_probe.h"
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+ProbeReading
+readProbe(const sim::ProbeCapture &capture)
+{
+    if (!capture.started || !capture.complete)
+        fatal("readProbe: probe capture incomplete");
+
+    const sim::TaskCounters task =
+        capture.taskAtEnd.since(capture.taskAtStart);
+    const sim::MachineCounters machine =
+        capture.machineAtEnd.since(capture.machineAtStart);
+
+    if (task.instructions <= 0)
+        fatal("readProbe: empty probe window");
+
+    ProbeReading reading;
+    reading.instructions = task.instructions;
+    reading.privCpi = task.privateCycles() / task.instructions;
+    reading.sharedCpi = task.stallSharedCycles / task.instructions;
+    reading.machineL3MissPerUs = machine.l3MissRatePerUs();
+    return reading;
+}
+
+ProbeReading
+readProbe(const sim::Task &task)
+{
+    return readProbe(task.probe());
+}
+
+ProbeSlowdown
+slowdownOf(const ProbeReading &reading, const ProbeReading &baseline)
+{
+    if (!reading.valid() || !baseline.valid())
+        fatal("slowdownOf: invalid probe reading");
+    if (baseline.privCpi <= 0 || baseline.sharedCpi <= 0 ||
+        baseline.totalCpi() <= 0) {
+        fatal("slowdownOf: degenerate baseline (privCpi=",
+              baseline.privCpi, " sharedCpi=", baseline.sharedCpi, ")");
+    }
+    ProbeSlowdown s;
+    s.priv = reading.privCpi / baseline.privCpi;
+    s.shared = reading.sharedCpi / baseline.sharedCpi;
+    s.total = reading.totalCpi() / baseline.totalCpi();
+    return s;
+}
+
+} // namespace litmus::pricing

@@ -1,0 +1,63 @@
+#include "core/performance_table.h"
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+void
+PerformanceTable::add(GeneratorKind gen, unsigned level,
+                      const PerformanceEntry &entry)
+{
+    Series &s = series_[gen];
+    if (!s.levels.empty() && level <= s.levels.back())
+        fatal("PerformanceTable::add: levels must increase (", level,
+              " after ", s.levels.back(), ")");
+    s.levels.push_back(level);
+    s.priv.push_back(entry.privSlowdown);
+    s.shared.push_back(entry.sharedSlowdown);
+    s.total.push_back(entry.totalSlowdown);
+}
+
+const PerformanceTable::Series &
+PerformanceTable::seriesFor(GeneratorKind gen) const
+{
+    const auto it = series_.find(gen);
+    if (it == series_.end())
+        fatal("PerformanceTable: no series for ",
+              workload::generatorName(gen));
+    return it->second;
+}
+
+const std::vector<double> &
+PerformanceTable::levels(GeneratorKind gen) const
+{
+    return seriesFor(gen).levels;
+}
+
+const std::vector<double> &
+PerformanceTable::privSeries(GeneratorKind gen) const
+{
+    return seriesFor(gen).priv;
+}
+
+const std::vector<double> &
+PerformanceTable::sharedSeries(GeneratorKind gen) const
+{
+    return seriesFor(gen).shared;
+}
+
+const std::vector<double> &
+PerformanceTable::totalSeries(GeneratorKind gen) const
+{
+    return seriesFor(gen).total;
+}
+
+bool
+PerformanceTable::populated(GeneratorKind gen) const
+{
+    const auto it = series_.find(gen);
+    return it != series_.end() && it->second.levels.size() >= 2;
+}
+
+} // namespace litmus::pricing

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The performance table (Figure 5, right).
+ *
+ * For each traffic generator and stress level, the geometric mean of
+ * the reference functions' component slowdowns (whole-function CPI
+ * ratios vs. running alone). Entries map 1-to-1 to congestion-table
+ * rows; together they let the provider translate "startup slowed by
+ * X" into "a typical tenant function slowed by Y".
+ */
+
+#ifndef LITMUS_CORE_PERFORMANCE_TABLE_H
+#define LITMUS_CORE_PERFORMANCE_TABLE_H
+
+#include <map>
+#include <vector>
+
+#include "workload/traffic_gen.h"
+
+namespace litmus::pricing
+{
+
+/** One performance-table cell: reference gmean slowdowns. */
+struct PerformanceEntry
+{
+    double privSlowdown = 1.0;
+    double sharedSlowdown = 1.0;
+    double totalSlowdown = 1.0;
+};
+
+/** Provider-built performance table. */
+class PerformanceTable
+{
+  public:
+    using GeneratorKind = workload::GeneratorKind;
+
+    /** Add one cell; levels must arrive increasing. */
+    void add(GeneratorKind gen, unsigned level,
+             const PerformanceEntry &entry);
+
+    /** Stress levels recorded for a generator. */
+    const std::vector<double> &levels(GeneratorKind gen) const;
+
+    const std::vector<double> &privSeries(GeneratorKind gen) const;
+    const std::vector<double> &sharedSeries(GeneratorKind gen) const;
+    const std::vector<double> &totalSeries(GeneratorKind gen) const;
+
+    bool populated(GeneratorKind gen) const;
+
+  private:
+    struct Series
+    {
+        std::vector<double> levels;
+        std::vector<double> priv;
+        std::vector<double> shared;
+        std::vector<double> total;
+    };
+
+    const Series &seriesFor(GeneratorKind gen) const;
+
+    std::map<GeneratorKind, Series> series_;
+};
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_PERFORMANCE_TABLE_H

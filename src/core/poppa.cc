@@ -1,0 +1,100 @@
+#include "core/poppa.h"
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+PoppaSampler::PoppaSampler(sim::Engine &engine, PoppaConfig cfg)
+    : engine_(engine), cfg_(cfg), nextSample_(engine.now() + cfg.samplePeriod)
+{
+    if (cfg_.samplePeriod <= 0 || cfg_.sampleWindow <= 0 ||
+        cfg_.sampleWindow >= cfg_.samplePeriod) {
+        fatal("PoppaSampler: need 0 < window < period");
+    }
+    engine_.onQuantum(
+        [this](Seconds now, const sim::SharedState &) { onQuantum(now); });
+}
+
+void
+PoppaSampler::onQuantum(Seconds now)
+{
+    if (windowOpen_) {
+        if (now < windowEnd_)
+            return;
+        // Close the window: read the victim's delta and unfreeze.
+        auto tasks = engine_.liveTasks();
+        sim::Task *victim = nullptr;
+        for (sim::Task *task : tasks) {
+            if (task->id() == victimId_)
+                victim = task;
+            engine_.scheduler().setFrozen(task, false);
+        }
+        if (victim) {
+            const sim::TaskCounters delta =
+                victim->counters().since(victimAtOpen_);
+            if (delta.instructions > 1000) {
+                Estimate &est = estimates_[victimId_];
+                est.cpiSum += delta.cycles / delta.instructions;
+                est.samples += 1;
+            }
+        }
+        // Overhead: every frozen task lost the window.
+        stallOverhead_ += cfg_.sampleWindow *
+                          static_cast<double>(
+                              tasks.empty() ? 0 : tasks.size() - 1);
+        windowOpen_ = false;
+        nextSample_ = now + cfg_.samplePeriod;
+        return;
+    }
+
+    if (now < nextSample_)
+        return;
+
+    // Open a window on the next victim.
+    auto tasks = engine_.liveTasks();
+    if (tasks.size() < 2) {
+        nextSample_ = now + cfg_.samplePeriod;
+        return;
+    }
+    rrCursor_ = (rrCursor_ + 1) % tasks.size();
+    sim::Task *victim = tasks[rrCursor_];
+    for (sim::Task *task : tasks) {
+        if (task != victim)
+            engine_.scheduler().setFrozen(task, true);
+    }
+    victimId_ = victim->id();
+    victimAtOpen_ = victim->counters();
+    windowOpen_ = true;
+    windowEnd_ = now + cfg_.sampleWindow;
+    ++windows_;
+}
+
+double
+PoppaSampler::estimatedSoloCpi(std::uint64_t task_id) const
+{
+    const auto it = estimates_.find(task_id);
+    if (it == estimates_.end() || it->second.samples == 0)
+        return 0.0;
+    return it->second.cpiSum / it->second.samples;
+}
+
+unsigned
+PoppaSampler::sampleCount(std::uint64_t task_id) const
+{
+    const auto it = estimates_.find(task_id);
+    return it == estimates_.end() ? 0 : it->second.samples;
+}
+
+double
+PoppaSampler::price(const sim::TaskCounters &counters,
+                    std::uint64_t task_id) const
+{
+    const double soloCpi = estimatedSoloCpi(task_id);
+    if (soloCpi <= 0.0)
+        return counters.cycles; // never sampled: commercial price
+    return std::min<double>(counters.cycles,
+                            soloCpi * counters.instructions);
+}
+
+} // namespace litmus::pricing

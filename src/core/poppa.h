@@ -1,0 +1,94 @@
+/**
+ * @file
+ * POPPA-style sampling baseline (Breslow et al., SC'13).
+ *
+ * The prior approach Litmus argues against: to learn a task's solo
+ * performance, periodically *stall every co-running task* and let one
+ * victim run alone for a short window; the victim's CPI during the
+ * window estimates its uncontended CPI. Accurate pricing needs
+ * frequent samples, and every sample stalls the whole machine — the
+ * overhead Litmus eliminates. This implementation exists to quantify
+ * that trade-off (ablation bench).
+ */
+
+#ifndef LITMUS_CORE_POPPA_H
+#define LITMUS_CORE_POPPA_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace litmus::pricing
+{
+
+/** Sampler configuration. */
+struct PoppaConfig
+{
+    /** Time between samples (machine-wide). */
+    Seconds samplePeriod = 20e-3;
+
+    /** Length of each solo window. */
+    Seconds sampleWindow = 2e-3;
+};
+
+/**
+ * Shim-based sampler attached to a simulation engine.
+ *
+ * Victims rotate round-robin over live tasks. While a window is open,
+ * every other task is frozen; the victim's counters over the window
+ * give one solo-CPI sample. Estimated solo CPI of a task is the mean
+ * of its samples.
+ */
+class PoppaSampler
+{
+  public:
+    PoppaSampler(sim::Engine &engine, PoppaConfig cfg);
+
+    /** Solo-CPI estimate for a task; 0 when never sampled. */
+    double estimatedSoloCpi(std::uint64_t task_id) const;
+
+    /** Samples collected for a task. */
+    unsigned sampleCount(std::uint64_t task_id) const;
+
+    /** Total task-seconds of co-runner stall the sampling caused. */
+    Seconds stallOverhead() const { return stallOverhead_; }
+
+    /** Total solo windows opened. */
+    std::uint64_t windowsOpened() const { return windows_; }
+
+    /**
+     * POPPA's discounted price for an execution: estimated solo CPI
+     * times retired instructions (cycles), or the commercial price
+     * when the task was never sampled.
+     */
+    double price(const sim::TaskCounters &counters,
+                 std::uint64_t task_id) const;
+
+  private:
+    /** Per-quantum hook: open/close windows, accrue samples. */
+    void onQuantum(Seconds now);
+
+    struct Estimate
+    {
+        double cpiSum = 0.0;
+        unsigned samples = 0;
+    };
+
+    sim::Engine &engine_;
+    PoppaConfig cfg_;
+    Seconds nextSample_;
+    bool windowOpen_ = false;
+    Seconds windowEnd_ = 0;
+    std::uint64_t victimId_ = 0;
+    sim::TaskCounters victimAtOpen_;
+    std::size_t rrCursor_ = 0;
+    std::map<std::uint64_t, Estimate> estimates_;
+    Seconds stallOverhead_ = 0;
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_POPPA_H

@@ -1,0 +1,45 @@
+#include "core/pricing_model.h"
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+PricingEngine::PricingEngine(const DiscountModel &model,
+                             double sharing_factor)
+    : model_(model), sharingFactor_(sharing_factor)
+{
+    if (sharing_factor <= 0)
+        fatal("PricingEngine: sharing factor must be positive");
+}
+
+PriceQuote
+PricingEngine::quote(const sim::TaskCounters &counters,
+                     const ProbeReading &probe, workload::Language lang,
+                     const SoloBaseline &solo) const
+{
+    if (counters.instructions <= 0)
+        fatal("PricingEngine::quote: no instructions retired");
+
+    PriceQuote q;
+    q.estimate = model_.estimate(probe, lang, sharingFactor_);
+
+    const double tPriv = counters.privateCycles();
+    const double tShared = counters.stallSharedCycles;
+
+    q.commercial = tPriv + tShared;
+
+    q.litmusPriv = q.estimate.rPrivate * tPriv;
+    q.litmusShared = q.estimate.rShared * tShared;
+    q.litmus = q.litmusPriv + q.litmusShared;
+
+    // Ideal: what this invocation would have cost alone — solo CPI
+    // times the instructions it actually retired.
+    q.idealPriv = solo.privCpi * counters.instructions;
+    q.idealShared = solo.sharedCpi * counters.instructions;
+    q.ideal = q.idealPriv + q.idealShared;
+
+    return q;
+}
+
+} // namespace litmus::pricing

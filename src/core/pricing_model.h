@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The three pricing schemes the evaluation compares (Section 7):
+ *
+ *  - commercial: pay-as-you-go, proportional to measured execution
+ *    time (no discount) — today's platforms;
+ *  - ideal: an oracle that discounts exactly proportionally to the
+ *    slowdown (requires knowing T_solo, unobtainable in production);
+ *  - Litmus: P = R_private * T_private + R_shared * T_shared, with
+ *    rates from the Litmus test and the discount model.
+ *
+ * All quotes are expressed in cycles so normalized comparisons don't
+ * depend on memory size or dollar rates; BillingLedger converts to
+ * GB-second dollar charges for absolute bills.
+ */
+
+#ifndef LITMUS_CORE_PRICING_MODEL_H
+#define LITMUS_CORE_PRICING_MODEL_H
+
+#include "core/discount_model.h"
+
+namespace litmus::pricing
+{
+
+/** One invocation priced all three ways. */
+struct PriceQuote
+{
+    /** Commercial pay-as-you-go price (total measured cycles). */
+    double commercial = 0.0;
+
+    /** Litmus price and its components. */
+    double litmus = 0.0;
+    double litmusPriv = 0.0;
+    double litmusShared = 0.0;
+
+    /** Ideal (oracle) price and its components: solo-time cycles. */
+    double ideal = 0.0;
+    double idealPriv = 0.0;
+    double idealShared = 0.0;
+
+    /** The discount estimate used for the Litmus price. */
+    DiscountEstimate estimate;
+
+    /** Normalized prices (commercial == 1). */
+    double litmusNormalized() const { return litmus / commercial; }
+    double idealNormalized() const { return ideal / commercial; }
+
+    /**
+     * Weighted error rates of Figure 12: component difference from
+     * the ideal component, weighted by the ideal total.
+     */
+    double privError() const { return (litmusPriv - idealPriv) / ideal; }
+    double sharedError() const
+    {
+        return (litmusShared - idealShared) / ideal;
+    }
+    double totalError() const { return (litmus - ideal) / ideal; }
+};
+
+/**
+ * Prices invocations with a calibrated discount model.
+ */
+class PricingEngine
+{
+  public:
+    /**
+     * @param model          calibrated discount model (borrowed;
+     *                       must outlive the engine)
+     * @param sharing_factor Method 1 temporal-sharing calibration
+     *                       factor (1 = dedicated cores / Method 2)
+     */
+    explicit PricingEngine(const DiscountModel &model,
+                           double sharing_factor = 1.0);
+
+    /**
+     * Price one invocation.
+     *
+     * @param counters whole-execution task counters
+     * @param probe    the invocation's Litmus-test reading
+     * @param lang     language of the function
+     * @param solo     the function's solo baseline (ideal oracle only;
+     *                 Litmus itself never sees it)
+     */
+    PriceQuote quote(const sim::TaskCounters &counters,
+                     const ProbeReading &probe,
+                     workload::Language lang,
+                     const SoloBaseline &solo) const;
+
+    const DiscountModel &model() const { return model_; }
+    double sharingFactor() const { return sharingFactor_; }
+
+  private:
+    const DiscountModel &model_;
+    double sharingFactor_;
+};
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_PRICING_MODEL_H

@@ -1,0 +1,108 @@
+#include "core/recalibration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+RecalibrationAdvisor::RecalibrationAdvisor(const DiscountModel &model,
+                                           RecalibrationConfig cfg)
+    : model_(model), cfg_(cfg)
+{
+    if (cfg_.windowSize == 0 || cfg_.minReadings == 0 ||
+        cfg_.minReadings > cfg_.windowSize) {
+        fatal("RecalibrationAdvisor: need 0 < minReadings <= "
+              "windowSize");
+    }
+    if (cfg_.outOfRangeTolerance <= 0 || cfg_.outOfRangeTolerance >= 1)
+        fatal("RecalibrationAdvisor: tolerance must be in (0,1)");
+    if (cfg_.envelopeMargin < 1)
+        fatal("RecalibrationAdvisor: envelopeMargin must be >= 1");
+}
+
+void
+RecalibrationAdvisor::observe(const ProbeReading &reading, Language lang)
+{
+    const ProbeSlowdown s = slowdownOf(reading, model_.baseline(lang));
+
+    Observation obs;
+
+    // Beyond the calibrated slowdown range? Anything past the sweep's
+    // maximum is linear extrapolation the tables never validated.
+    obs.beyondRange = s.total > model_.maxCalibratedTotal(lang) * 1.05;
+
+    // Outside the generator L3 envelopes (with margin)?
+    const double l3Ct =
+        std::max(1e-3, model_.l3Fit(lang, GeneratorKind::CtGen)
+                           .invert(std::max(1.001, s.total)));
+    const double l3Mb =
+        std::max(1e-3, model_.l3Fit(lang, GeneratorKind::MbGen)
+                           .invert(std::max(1.001, s.total)));
+    const double lo = std::min(l3Ct, l3Mb) / cfg_.envelopeMargin;
+    const double hi = std::max(l3Ct, l3Mb) * cfg_.envelopeMargin;
+    const double observed = std::max(1e-3, reading.machineL3MissPerUs);
+    obs.unbracketed = observed < lo || observed > hi;
+
+    window_.push_back(obs);
+    while (window_.size() > cfg_.windowSize)
+        window_.pop_front();
+}
+
+double
+RecalibrationAdvisor::outOfRangeFraction() const
+{
+    if (window_.empty())
+        return 0.0;
+    std::size_t count = 0;
+    for (const Observation &obs : window_)
+        count += obs.beyondRange;
+    return static_cast<double>(count) /
+           static_cast<double>(window_.size());
+}
+
+double
+RecalibrationAdvisor::unbracketedFraction() const
+{
+    if (window_.empty())
+        return 0.0;
+    std::size_t count = 0;
+    for (const Observation &obs : window_)
+        count += obs.unbracketed;
+    return static_cast<double>(count) /
+           static_cast<double>(window_.size());
+}
+
+RecalibrationAdvice
+RecalibrationAdvisor::advice() const
+{
+    if (window_.size() < cfg_.minReadings)
+        return RecalibrationAdvice::InsufficientData;
+    if (outOfRangeFraction() > cfg_.outOfRangeTolerance)
+        return RecalibrationAdvice::SweepHigherLevels;
+    if (unbracketedFraction() > cfg_.outOfRangeTolerance)
+        return RecalibrationAdvice::GeneratorsDontBracket;
+    return RecalibrationAdvice::TablesHealthy;
+}
+
+std::string
+RecalibrationAdvisor::adviceName(RecalibrationAdvice advice)
+{
+    switch (advice) {
+      case RecalibrationAdvice::TablesHealthy:
+        return "tables-healthy";
+      case RecalibrationAdvice::InsufficientData:
+        return "insufficient-data";
+      case RecalibrationAdvice::SweepHigherLevels:
+        return "sweep-higher-levels";
+      case RecalibrationAdvice::GeneratorsDontBracket:
+        return "generators-dont-bracket";
+    }
+    panic("adviceName: bad advice");
+}
+
+} // namespace litmus::pricing

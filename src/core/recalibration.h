@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Recalibration advisor — operationalizing Section 7.2's observation
+ * that tables must match the environment they price.
+ *
+ * The paper shows Method 1 (stale dedicated-core tables) undershoots
+ * by ~3 percentage points while Method 2 (tables rebuilt for the
+ * sharing level) is near-ideal, and that reusing 10-per-core tables
+ * at 15-per-core stays acceptable only because switching overhead
+ * saturates. A production deployment therefore needs to notice when
+ * live probe readings drift outside what its tables can explain. The
+ * RecalibrationAdvisor watches the stream of Litmus-test readings and
+ * raises advice when:
+ *
+ *  - readings systematically exceed the calibrated slowdown range
+ *    (congestion beyond the swept levels), or
+ *  - the observed L3-miss signature no longer falls between the
+ *    CT-Gen and MB-Gen envelopes (a workload mix the generators do
+ *    not bracket), or
+ *  - too many estimates clamp at the no-discount floor while probes
+ *    report real slowdown (tables built for a quieter machine).
+ */
+
+#ifndef LITMUS_CORE_RECALIBRATION_H
+#define LITMUS_CORE_RECALIBRATION_H
+
+#include <deque>
+
+#include "core/discount_model.h"
+
+namespace litmus::pricing
+{
+
+/** Advisor verdict over the recent probe window. */
+enum class RecalibrationAdvice
+{
+    /** Tables explain the observed readings. */
+    TablesHealthy,
+
+    /** Not enough readings accumulated yet. */
+    InsufficientData,
+
+    /** Congestion consistently beyond the calibrated range. */
+    SweepHigherLevels,
+
+    /** L3 signature outside the generator envelopes. */
+    GeneratorsDontBracket,
+};
+
+/** Advisor configuration. */
+struct RecalibrationConfig
+{
+    /** Sliding window of recent readings to judge. */
+    std::size_t windowSize = 64;
+
+    /** Minimum readings before judging. */
+    std::size_t minReadings = 16;
+
+    /**
+     * Fraction of readings allowed beyond the calibrated slowdown
+     * range before advising a re-sweep.
+     */
+    double outOfRangeTolerance = 0.25;
+
+    /**
+     * Multiplicative margin on the generator L3 envelopes before an
+     * observation counts as un-bracketed.
+     */
+    double envelopeMargin = 2.0;
+};
+
+/**
+ * Watches probe readings against a calibrated model.
+ *
+ * Borrowes the model; feed it every Litmus-test reading and poll
+ * advice() periodically (e.g. each billing epoch).
+ */
+class RecalibrationAdvisor
+{
+  public:
+    RecalibrationAdvisor(const DiscountModel &model,
+                         RecalibrationConfig cfg = RecalibrationConfig{});
+
+    /** Record one runtime probe reading. */
+    void observe(const ProbeReading &reading, workload::Language lang);
+
+    /** Verdict over the current window. */
+    RecalibrationAdvice advice() const;
+
+    /** Fraction of windowed readings beyond the calibrated range. */
+    double outOfRangeFraction() const;
+
+    /** Fraction of windowed readings outside the L3 envelopes. */
+    double unbracketedFraction() const;
+
+    /** Number of readings currently in the window. */
+    std::size_t readingCount() const { return window_.size(); }
+
+    /** Human-readable advice string. */
+    static std::string adviceName(RecalibrationAdvice advice);
+
+  private:
+    struct Observation
+    {
+        bool beyondRange = false;
+        bool unbracketed = false;
+    };
+
+    const DiscountModel &model_;
+    RecalibrationConfig cfg_;
+    std::deque<Observation> window_;
+};
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_RECALIBRATION_H

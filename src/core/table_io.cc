@@ -1,0 +1,177 @@
+#include "core/table_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace litmus::pricing
+{
+
+namespace
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+const char *
+langToken(Language lang)
+{
+    return lang == Language::Python
+               ? "python"
+               : (lang == Language::NodeJs ? "nodejs" : "go");
+}
+
+Language
+langFromToken(const std::string &token)
+{
+    if (token == "python")
+        return Language::Python;
+    if (token == "nodejs")
+        return Language::NodeJs;
+    if (token == "go")
+        return Language::Go;
+    fatal("table_io: unknown language '", token, "'");
+}
+
+const char *
+genToken(GeneratorKind gen)
+{
+    return gen == GeneratorKind::CtGen ? "ct" : "mb";
+}
+
+GeneratorKind
+genFromToken(const std::string &token)
+{
+    if (token == "ct")
+        return GeneratorKind::CtGen;
+    if (token == "mb")
+        return GeneratorKind::MbGen;
+    fatal("table_io: unknown generator '", token, "'");
+}
+
+} // namespace
+
+void
+saveTables(std::ostream &os, const CongestionTable &congestion,
+           const PerformanceTable &performance)
+{
+    os << "litmus-tables v1\n";
+    os << std::setprecision(17);
+
+    for (Language lang : workload::allLanguages()) {
+        const ProbeReading &base = congestion.baseline(lang);
+        os << "baseline " << langToken(lang) << ' ' << base.privCpi
+           << ' ' << base.sharedCpi << ' ' << base.instructions << ' '
+           << base.machineL3MissPerUs << '\n';
+    }
+
+    for (Language lang : workload::allLanguages()) {
+        for (GeneratorKind gen :
+             {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+            const auto &levels = congestion.levels(lang, gen);
+            const auto &priv = congestion.privSeries(lang, gen);
+            const auto &shared = congestion.sharedSeries(lang, gen);
+            const auto &total = congestion.totalSeries(lang, gen);
+            const auto &l3 = congestion.l3Series(lang, gen);
+            for (std::size_t i = 0; i < levels.size(); ++i) {
+                os << "congestion " << langToken(lang) << ' '
+                   << genToken(gen) << ' ' << levels[i] << ' '
+                   << priv[i] << ' ' << shared[i] << ' ' << total[i]
+                   << ' ' << l3[i] << '\n';
+            }
+        }
+    }
+
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        const auto &levels = performance.levels(gen);
+        const auto &priv = performance.privSeries(gen);
+        const auto &shared = performance.sharedSeries(gen);
+        const auto &total = performance.totalSeries(gen);
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            os << "performance " << genToken(gen) << ' ' << levels[i]
+               << ' ' << priv[i] << ' ' << shared[i] << ' ' << total[i]
+               << '\n';
+        }
+    }
+}
+
+void
+saveTables(const std::string &path, const CongestionTable &congestion,
+           const PerformanceTable &performance)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveTables: cannot write '", path, "'");
+    saveTables(out, congestion, performance);
+}
+
+LoadedTables
+loadTables(std::istream &is)
+{
+    std::string header;
+    if (!std::getline(is, header) || header != "litmus-tables v1")
+        fatal("loadTables: bad header '", header, "'");
+
+    LoadedTables out;
+    std::string line;
+    int lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        if (kind == "baseline") {
+            std::string lang;
+            ProbeReading base;
+            fields >> lang >> base.privCpi >> base.sharedCpi >>
+                base.instructions >> base.machineL3MissPerUs;
+            if (!fields)
+                fatal("loadTables: malformed baseline on line ", lineNo);
+            out.congestion.setBaseline(langFromToken(lang), base);
+        } else if (kind == "congestion") {
+            std::string lang, gen;
+            double level;
+            CongestionEntry entry;
+            fields >> lang >> gen >> level >> entry.privSlowdown >>
+                entry.sharedSlowdown >> entry.totalSlowdown >>
+                entry.l3MissPerUs;
+            if (!fields)
+                fatal("loadTables: malformed congestion row on line ",
+                      lineNo);
+            out.congestion.add(langFromToken(lang), genFromToken(gen),
+                               static_cast<unsigned>(level), entry);
+        } else if (kind == "performance") {
+            std::string gen;
+            double level;
+            PerformanceEntry entry;
+            fields >> gen >> level >> entry.privSlowdown >>
+                entry.sharedSlowdown >> entry.totalSlowdown;
+            if (!fields)
+                fatal("loadTables: malformed performance row on line ",
+                      lineNo);
+            out.performance.add(genFromToken(gen),
+                                static_cast<unsigned>(level), entry);
+        } else {
+            fatal("loadTables: unknown record '", kind, "' on line ",
+                  lineNo);
+        }
+    }
+    return out;
+}
+
+LoadedTables
+loadTables(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadTables: cannot open '", path, "'");
+    return loadTables(in);
+}
+
+} // namespace litmus::pricing

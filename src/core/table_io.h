@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Serialization of calibration artifacts.
+ *
+ * Calibration is the expensive provider-side step; its output — the
+ * congestion and performance tables plus the startup baselines — is a
+ * deployable artifact. This module round-trips both tables through a
+ * line-oriented text format so a fleet can calibrate once and load
+ * everywhere:
+ *
+ *     litmus-tables v1
+ *     baseline <lang> <privCpi> <sharedCpi> <instructions> <l3PerUs>
+ *     congestion <lang> <gen> <level> <priv> <shared> <total> <l3PerUs>
+ *     performance <gen> <level> <priv> <shared> <total>
+ */
+
+#ifndef LITMUS_CORE_TABLE_IO_H
+#define LITMUS_CORE_TABLE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/calibration.h"
+
+namespace litmus::pricing
+{
+
+/** Serialize both tables (and baselines) to a stream. */
+void saveTables(std::ostream &os, const CongestionTable &congestion,
+                const PerformanceTable &performance);
+
+/** Serialize to a file; fatal() when unwritable. */
+void saveTables(const std::string &path,
+                const CongestionTable &congestion,
+                const PerformanceTable &performance);
+
+/** Deserialized calibration artifact. */
+struct LoadedTables
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+};
+
+/** Parse tables from a stream; fatal() on malformed input. */
+LoadedTables loadTables(std::istream &is);
+
+/** Parse tables from a file; fatal() when unreadable. */
+LoadedTables loadTables(const std::string &path);
+
+} // namespace litmus::pricing
+
+#endif // LITMUS_CORE_TABLE_IO_H

@@ -1,0 +1,168 @@
+#include "sim/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+ContentionSolver::ContentionSolver(const MachineConfig &cfg) : cfg_(cfg)
+{
+}
+
+double
+ContentionSolver::queueFactor(double u, double qmax) const
+{
+    const double capped = std::clamp(u, 0.0, 1.0);
+    return 1.0 + (qmax - 1.0) * std::pow(capped, cfg_.queueGamma);
+}
+
+double
+ContentionSolver::missFraction(const ResourceDemand &demand,
+                               double shareBytes) const
+{
+    if (demand.l2Mpki <= 0.0)
+        return 0.0;
+    const double ws = static_cast<double>(demand.l3WorkingSet);
+    double capacityMiss = 0.0;
+    if (ws > 0.0 && shareBytes < ws) {
+        const double deficit = 1.0 - shareBytes / ws;
+        capacityMiss = std::pow(deficit, cfg_.capacityMissExponent);
+    }
+    const double m =
+        demand.l3MissBase + (1.0 - demand.l3MissBase) * capacityMiss;
+    return std::clamp(m, 0.0, 1.0);
+}
+
+ThreadPerf
+ContentionSolver::threadPerf(const ResourceDemand &demand,
+                             const ThreadEnvironment &env,
+                             const SharedState &shared,
+                             Hertz frequency) const
+{
+    const double cyclesPerNs = frequency * 1e-9;
+
+    ThreadPerf perf;
+
+    // Capacity share: proportional occupancy. When the machine's total
+    // demand fits, everyone gets their working set; otherwise shares
+    // shrink proportionally (a streaming co-runner evicts neighbours).
+    const double ws = static_cast<double>(demand.l3WorkingSet);
+    const double l3 = static_cast<double>(cfg_.l3Capacity);
+    double share = ws;
+    if (shared.totalWorkingSet > l3 && shared.totalWorkingSet > 0.0)
+        share = l3 * ws / shared.totalWorkingSet;
+    perf.l3MissFraction = missFraction(demand, share);
+
+    // Shared-domain stall per instruction, in cycles at the current
+    // frequency (latencies are physical ns; a faster clock waits more
+    // cycles for the same DRAM access).
+    const double missPerInstr = demand.l2Mpki / 1000.0;
+    const double m = perf.l3MissFraction;
+    const double avgLatNs = (1.0 - m) * shared.l3LatencyNs +
+                            m * shared.memLatencyNs;
+    perf.stallPerInstr =
+        missPerInstr * avgLatNs * cyclesPerNs / demand.mlp;
+
+    // Private CPI with warmth, SMT, and the uncore-coupling term that
+    // scales with the task's own memory intensity (capped so generator
+    // extremes stay plausible).
+    const double intensity =
+        std::min(1.0, demand.l2Mpki / cfg_.couplingSaturationMpki);
+    const double rawCoupling =
+        intensity * (cfg_.privateCouplingL3 * shared.l3Utilization +
+                     cfg_.privateCouplingMem * shared.memUtilization);
+    const double coupling =
+        1.0 + std::min(rawCoupling, cfg_.privateCouplingMax);
+    perf.privateCpi =
+        demand.cpi0 * env.warmthMult * env.smtMult * coupling;
+
+    return perf;
+}
+
+ContentionResult
+ContentionSolver::solve(const std::vector<SolverInput> &inputs,
+                        Hertz frequency,
+                        double waiting_working_set) const
+{
+    ContentionResult result;
+    result.threads.resize(inputs.size());
+
+    SharedState &shared = result.shared;
+    shared.l3LatencyNs = cfg_.l3HitLatencyNs;
+    shared.memLatencyNs = cfg_.memLatencyNs;
+
+    // Cache residue of switched-out co-located functions competes for
+    // capacity alongside the running threads' working sets.
+    shared.totalWorkingSet =
+        cfg_.residencyFactor * std::max(0.0, waiting_working_set);
+    for (const auto &input : inputs)
+        shared.totalWorkingSet +=
+            static_cast<double>(input.demand.l3WorkingSet);
+
+    if (inputs.empty())
+        return result;
+
+    const double ghz = frequency * 1e-9; // cycles per ns
+
+    // Damped fixed-point iteration. Three rounds are enough: traffic
+    // rates move latencies which move rates; the damping factor keeps
+    // the loop stable even at saturation.
+    constexpr int iterations = 4;
+    constexpr double damping = 0.6;
+
+    double uL3 = 0.0;
+    double uMem = 0.0;
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        shared.l3Utilization = uL3;
+        shared.memUtilization = uMem;
+        shared.l3LatencyNs =
+            cfg_.l3HitLatencyNs * queueFactor(uL3, cfg_.l3QueueMax);
+        shared.memLatencyNs =
+            cfg_.memLatencyNs * queueFactor(uMem, cfg_.memQueueMax);
+
+        double l3AccessPerNs = 0.0;
+        double memLinesPerNs = 0.0;
+
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            result.threads[i] = threadPerf(inputs[i].demand,
+                                           inputs[i].env, shared,
+                                           frequency);
+            const ThreadPerf &perf = result.threads[i];
+            // Instructions per ns this thread retires at the current
+            // operating point.
+            const double ipns = ghz / perf.cpi();
+            const double missesPerNs =
+                ipns * inputs[i].demand.l2Mpki / 1000.0;
+            l3AccessPerNs += missesPerNs;
+            memLinesPerNs += missesPerNs * perf.l3MissFraction;
+        }
+
+        const double newUL3 =
+            std::min(l3AccessPerNs / cfg_.l3ServiceRate, 1.0);
+        const double newUMem =
+            std::min(memLinesPerNs / cfg_.memServiceRate, 1.0);
+
+        uL3 = damping * newUL3 + (1.0 - damping) * uL3;
+        uMem = damping * newUMem + (1.0 - damping) * uMem;
+    }
+
+    shared.l3Utilization = uL3;
+    shared.memUtilization = uMem;
+    shared.l3LatencyNs =
+        cfg_.l3HitLatencyNs * queueFactor(uL3, cfg_.l3QueueMax);
+    shared.memLatencyNs =
+        cfg_.memLatencyNs * queueFactor(uMem, cfg_.memQueueMax);
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        result.threads[i] = threadPerf(inputs[i].demand, inputs[i].env,
+                                       shared, frequency);
+    }
+
+    return result;
+}
+
+} // namespace litmus::sim

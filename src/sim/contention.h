@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared-resource contention model.
+ *
+ * Once per quantum the solver takes every running hardware thread's
+ * demand and computes a self-consistent operating point of the shared
+ * domain:
+ *
+ *  - the L3 access path (CT-Gen's target): aggregate L2-miss traffic
+ *    vs. L3 service bandwidth gives a queuing multiplier on L3 hit
+ *    latency;
+ *  - L3 capacity: threads receive occupancy shares proportional to
+ *    their working sets; a thread squeezed below its working set sees
+ *    an elevated L3 miss fraction (MB-Gen's eviction effect);
+ *  - DRAM bandwidth (MB-Gen's target): aggregate L3-miss traffic vs.
+ *    memory service bandwidth gives a queuing multiplier on memory
+ *    latency.
+ *
+ * The fixed point is found by damped iteration: faster threads create
+ * more traffic, which raises latencies, which slows threads down.
+ */
+
+#ifndef LITMUS_SIM_CONTENTION_H
+#define LITMUS_SIM_CONTENTION_H
+
+#include <vector>
+
+#include "sim/machine_config.h"
+#include "sim/task.h"
+
+namespace litmus::sim
+{
+
+/** Per-thread multipliers the scheduler decides before solving. */
+struct ThreadEnvironment
+{
+    /** Cache-warmth CPI inflation from temporal sharing (>= 1). */
+    double warmthMult = 1.0;
+
+    /** SMT sibling-activity CPI inflation (>= 1). */
+    double smtMult = 1.0;
+};
+
+/** One running hardware thread as seen by the solver. */
+struct SolverInput
+{
+    ResourceDemand demand;
+    ThreadEnvironment env;
+};
+
+/** Shared-domain operating point, identical for all threads. */
+struct SharedState
+{
+    /** Effective L3 hit latency in ns after queuing. */
+    double l3LatencyNs = 0.0;
+
+    /** Effective DRAM latency in ns after queuing. */
+    double memLatencyNs = 0.0;
+
+    /** Utilization of the L3 access path in [0, maxUtilization]. */
+    double l3Utilization = 0.0;
+
+    /** Utilization of DRAM bandwidth in [0, maxUtilization]. */
+    double memUtilization = 0.0;
+
+    /** Sum of all running threads' L3 working sets (bytes). */
+    double totalWorkingSet = 0.0;
+};
+
+/** Per-thread outcome of the solve. */
+struct ThreadPerf
+{
+    /** Effective private CPI (cpi0 x warmth x smt x coupling). */
+    double privateCpi = 0.0;
+
+    /** Shared-domain stall cycles per instruction. */
+    double stallPerInstr = 0.0;
+
+    /** L3 miss fraction of this thread's L2 misses, in [0,1]. */
+    double l3MissFraction = 0.0;
+
+    /** Total effective CPI. */
+    double cpi() const { return privateCpi + stallPerInstr; }
+
+    /** Instructions per cycle. */
+    double ipc() const { return 1.0 / cpi(); }
+};
+
+/** Complete solver result for a quantum. */
+struct ContentionResult
+{
+    SharedState shared;
+    std::vector<ThreadPerf> threads;
+};
+
+/**
+ * Analytic fixed-point solver for the shared domain.
+ *
+ * Stateless apart from the configuration; one instance per Machine.
+ */
+class ContentionSolver
+{
+  public:
+    explicit ContentionSolver(const MachineConfig &cfg);
+
+    /**
+     * Solve the operating point for the given running threads.
+     * @param inputs one entry per running hardware thread
+     * @param frequency current core clock (traffic scales with it)
+     * @param waiting_working_set summed L3 working sets (bytes) of
+     *        runnable-but-switched-out tasks; scaled by the config's
+     *        residencyFactor it pressures the capacity shares
+     */
+    ContentionResult solve(const std::vector<SolverInput> &inputs,
+                           Hertz frequency,
+                           double waiting_working_set = 0.0) const;
+
+    /**
+     * Recompute a single thread's perf against a fixed shared state
+     * (used when a task changes phase mid-quantum).
+     */
+    ThreadPerf threadPerf(const ResourceDemand &demand,
+                          const ThreadEnvironment &env,
+                          const SharedState &shared,
+                          Hertz frequency) const;
+
+    /**
+     * Queuing-delay multiplier at utilization u (clamped to [0,1]):
+     * qf(u) = 1 + (qmax - 1) * u^gamma. Smooth, 1 at u=0, saturating
+     * at qmax when the resource is fully utilized.
+     */
+    double queueFactor(double u, double qmax) const;
+
+    /**
+     * L3 miss fraction for a demand given its capacity share.
+     * Exposed for unit tests of the capacity-pressure curve.
+     */
+    double missFraction(const ResourceDemand &demand,
+                        double shareBytes) const;
+
+  private:
+    const MachineConfig &cfg_;
+};
+
+} // namespace litmus::sim
+
+#endif // LITMUS_SIM_CONTENTION_H

@@ -1,0 +1,297 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+void
+EngineStats::registerWith(StatsRegistry &registry,
+                          const std::string &group)
+{
+    registry.add(group, quanta);
+    registry.add(group, completions);
+    registry.add(group, instructions);
+    registry.add(group, l3Utilization);
+    registry.add(group, memUtilization);
+    registry.add(group, runningThreads);
+    registry.add(group, frequencyGhz);
+}
+
+Engine::Engine(const MachineConfig &cfg, FrequencyPolicy policy,
+               Seconds quantum)
+    : cfg_(cfg),
+      solver_(cfg_),
+      governor_(cfg_, policy),
+      scheduler_(cfg_),
+      quantum_(quantum),
+      lastFrequency_(cfg_.baseFrequency)
+{
+    cfg_.validate();
+    if (quantum_ <= 0)
+        fatal("Engine: quantum must be positive");
+}
+
+Task &
+Engine::add(std::unique_ptr<Task> task)
+{
+    if (!task)
+        fatal("Engine::add: null task");
+    task->setId(nextTaskId_++);
+    task->setLaunchTime(now_);
+    if (task->probeWindow() > 0) {
+        ProbeCapture &probe = task->probe();
+        probe.started = true;
+        probe.taskAtStart = task->counters();
+        probe.machineAtStart = machine_;
+    }
+    Task &ref = *task;
+    scheduler_.add(task.get());
+    tasks_.push_back(std::move(task));
+    return ref;
+}
+
+bool
+Engine::alive(const Task &task) const
+{
+    return aliveId(task.id());
+}
+
+bool
+Engine::aliveId(std::uint64_t id) const
+{
+    return std::any_of(tasks_.begin(), tasks_.end(),
+                       [&](const auto &t) { return t->id() == id; });
+}
+
+std::vector<Task *>
+Engine::liveTasks()
+{
+    std::vector<Task *> out;
+    out.reserve(tasks_.size());
+    for (const auto &t : tasks_)
+        out.push_back(t.get());
+    return out;
+}
+
+void
+Engine::run(Seconds duration)
+{
+    const Seconds end = now_ + duration;
+    while (now_ < end - 1e-12)
+        step();
+}
+
+void
+Engine::runUntilComplete(const Task &task, Seconds cap)
+{
+    runUntilCompleteId(task.id(), cap);
+}
+
+void
+Engine::runUntilCompleteId(std::uint64_t id, Seconds cap)
+{
+    const Seconds end = now_ + cap;
+    while (aliveId(id)) {
+        if (now_ >= end)
+            fatal("Engine::runUntilCompleteId: task ", id,
+                  " did not finish within ", cap, " simulated seconds");
+        step();
+    }
+}
+
+void
+Engine::runUntilIdle(Seconds cap)
+{
+    const Seconds end = now_ + cap;
+    while (!tasks_.empty()) {
+        if (now_ >= end)
+            fatal("Engine::runUntilIdle: tasks still live after ", cap,
+                  " simulated seconds");
+        step();
+    }
+}
+
+void
+Engine::step()
+{
+    const Seconds dt = quantum_;
+    const unsigned cpus = scheduler_.cpuCount();
+
+    const Hertz freq = governor_.frequency(scheduler_.activeCores());
+    lastFrequency_ = freq;
+
+    // Gather running threads and solve each socket's shared domain
+    // independently (sockets == 1 for the default presets).
+    unsigned totalRunning = 0;
+    SharedState observedState; // hottest-domain view for observers
+    observedState.l3LatencyNs = cfg_.l3HitLatencyNs;
+    observedState.memLatencyNs = cfg_.memLatencyNs;
+
+    const unsigned perSocket = cfg_.hwThreadsPerSocket();
+    for (unsigned socket = 0; socket < cfg_.sockets; ++socket) {
+        const unsigned cpuBegin = socket * perSocket;
+        const unsigned cpuEnd = std::min(cpuBegin + perSocket, cpus);
+
+        std::vector<unsigned> runningCpus;
+        std::vector<Task *> runningTasks;
+        std::vector<SolverInput> inputs;
+        runningCpus.reserve(cpuEnd - cpuBegin);
+        runningTasks.reserve(cpuEnd - cpuBegin);
+        inputs.reserve(cpuEnd - cpuBegin);
+
+        for (unsigned cpu = cpuBegin; cpu < cpuEnd; ++cpu) {
+            Task *task = scheduler_.runningOn(cpu);
+            if (!task || task->finished())
+                continue;
+            SolverInput input;
+            input.demand = task->demand();
+            input.env.warmthMult = scheduler_.warmthMult(cpu);
+            input.env.smtMult = scheduler_.siblingBusy(cpu)
+                                    ? cfg_.smtCpiMultiplier
+                                    : 1.0;
+            runningCpus.push_back(cpu);
+            runningTasks.push_back(task);
+            inputs.push_back(input);
+        }
+
+        const ContentionResult solved = solver_.solve(
+            inputs, freq,
+            scheduler_.waitingWorkingSet(cpuBegin, cpuEnd));
+
+        for (std::size_t i = 0; i < runningTasks.size(); ++i) {
+            advanceTask(*runningTasks[i], runningCpus[i],
+                        solved.threads[i], solved.shared, freq, dt);
+        }
+
+        totalRunning += static_cast<unsigned>(runningTasks.size());
+        if (solved.shared.memUtilization >=
+            observedState.memUtilization) {
+            observedState = solved.shared;
+        }
+        stats_.l3Utilization.sample(solved.shared.l3Utilization);
+        stats_.memUtilization.sample(solved.shared.memUtilization);
+    }
+
+    scheduler_.tick(dt);
+    now_ += dt;
+    machine_.time = now_;
+
+    stats_.quanta.add();
+    stats_.runningThreads.sample(static_cast<double>(totalRunning));
+    stats_.frequencyGhz.sample(freq * 1e-9);
+
+    for (const auto &cb : quantumCbs_)
+        cb(now_, observedState);
+
+    reapFinished();
+}
+
+void
+Engine::advanceTask(Task &task, unsigned cpu, const ThreadPerf &perf,
+                    const SharedState &shared, Hertz freq, Seconds dt)
+{
+    TaskCounters &tc = task.counters();
+    Cycles cyclesLeft = freq * dt;
+
+    // Context-switch cost burns cycles without retiring instructions;
+    // it lands in T_private (cycles - stalls grows).
+    const Cycles switchCost = scheduler_.consumePendingSwitchCycles(cpu);
+    if (switchCost > 0) {
+        const Cycles burned = std::min(switchCost, cyclesLeft);
+        tc.cycles += burned;
+        cyclesLeft -= burned;
+    }
+
+    ThreadPerf current = perf;
+    const ResourceDemand *currentDemand = &task.demand();
+
+    while (cyclesLeft > 1e-9 && !task.finished()) {
+        const ResourceDemand &d = task.demand();
+        if (&d != currentDemand) {
+            // Phase changed mid-quantum: recompute against the same
+            // shared state (the fixed point lags one quantum, which is
+            // fine at 50 us).
+            current = solver_.threadPerf(d, ThreadEnvironment{
+                                                scheduler_.warmthMult(cpu),
+                                                scheduler_.siblingBusy(cpu)
+                                                    ? cfg_.smtCpiMultiplier
+                                                    : 1.0},
+                                         shared, freq);
+            currentDemand = &d;
+        }
+
+        const double cpi = current.cpi();
+        const Instructions possible = cyclesLeft / cpi;
+        const Instructions step =
+            std::min(possible, task.remainingInPhase());
+        if (step <= 0) {
+            // Defensive: an empty phase must still terminate the loop.
+            task.retire(0);
+            break;
+        }
+
+        const Cycles used = step * cpi;
+        const double l2Miss = step * d.l2Mpki / 1000.0;
+        const double l3Miss = l2Miss * current.l3MissFraction;
+
+        tc.instructions += step;
+        tc.cycles += used;
+        tc.stallSharedCycles += step * current.stallPerInstr;
+        tc.l2Misses += l2Miss;
+        tc.l3Misses += l3Miss;
+
+        machine_.l3Accesses += l2Miss;
+        machine_.l3Misses += l3Miss;
+
+        cyclesLeft -= used;
+        task.retire(step);
+        updateProbe(task);
+    }
+}
+
+void
+Engine::updateProbe(Task &task)
+{
+    if (task.probeWindow() <= 0)
+        return;
+    ProbeCapture &probe = task.probe();
+    if (probe.complete || !probe.started)
+        return;
+    const TaskCounters delta = task.counters().since(probe.taskAtStart);
+    if (delta.instructions >= task.probeWindow()) {
+        probe.taskAtEnd = task.counters();
+        probe.machineAtEnd = machine_;
+        // The machine counter advances continuously but machine_.time
+        // is only updated at quantum end; stamp a consistent time.
+        probe.machineAtEnd.time = now_;
+        probe.complete = true;
+    }
+}
+
+void
+Engine::reapFinished()
+{
+    for (std::size_t i = 0; i < tasks_.size();) {
+        Task *task = tasks_[i].get();
+        if (!task->finished()) {
+            ++i;
+            continue;
+        }
+        task->setCompletionTime(now_);
+        stats_.completions.add();
+        stats_.instructions.add(task->counters().instructions);
+        scheduler_.remove(task);
+        // Move ownership out before the callback so the callback may
+        // add new tasks (invoker churn) without invalidating iterators.
+        std::unique_ptr<Task> owned = std::move(tasks_[i]);
+        tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+        for (const auto &cb : completionCbs_)
+            cb(*owned);
+    }
+}
+
+} // namespace litmus::sim

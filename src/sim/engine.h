@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Quantum-stepped simulation engine.
+ *
+ * Each quantum (default 50 us) the engine asks the scheduler which task
+ * runs on every hardware thread, solves the shared-domain contention
+ * fixed point once, then advances each running task — splitting the
+ * quantum at phase boundaries so short startup sub-phases stay sharp.
+ * PMU counters, probe windows, completion callbacks, and machine-wide
+ * uncore counters are all maintained here.
+ */
+
+#ifndef LITMUS_SIM_ENGINE_H
+#define LITMUS_SIM_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats_registry.h"
+#include "sim/contention.h"
+#include "sim/frequency_governor.h"
+#include "sim/machine_config.h"
+#include "sim/os_scheduler.h"
+#include "sim/pmu.h"
+#include "sim/task.h"
+
+namespace litmus::sim
+{
+
+/** Per-engine statistics, registrable with a StatsRegistry. */
+struct EngineStats
+{
+    CounterStat quanta{"quanta", "simulated quanta executed"};
+    CounterStat completions{"completions", "tasks run to completion"};
+    CounterStat instructions{"instructions",
+                             "total instructions retired"};
+    AverageStat l3Utilization{"l3_utilization",
+                              "per-quantum L3 access-path utilization"};
+    AverageStat memUtilization{"mem_utilization",
+                               "per-quantum DRAM bandwidth utilization"};
+    AverageStat runningThreads{"running_threads",
+                               "hardware threads busy per quantum"};
+    AverageStat frequencyGhz{"frequency_ghz",
+                             "per-quantum core frequency"};
+
+    /** Register every member under the given group. */
+    void registerWith(StatsRegistry &registry, const std::string &group);
+};
+
+/**
+ * The simulation engine; owns all live tasks.
+ */
+class Engine
+{
+  public:
+    /** Called when a task finishes, before it is destroyed. */
+    using CompletionCallback = std::function<void(Task &)>;
+
+    /** Called once per quantum with the solved shared state. */
+    using QuantumObserver =
+        std::function<void(Seconds now, const SharedState &state)>;
+
+    Engine(const MachineConfig &cfg,
+           FrequencyPolicy policy = FrequencyPolicy::Fixed,
+           Seconds quantum = 50e-6);
+
+    /** Add a task; the engine takes ownership. Returns a handle. */
+    Task &add(std::unique_ptr<Task> task);
+
+    /** Register a completion listener (multiple consumers chain). */
+    void onCompletion(CompletionCallback cb)
+    {
+        completionCbs_.push_back(std::move(cb));
+    }
+
+    /** Register a per-quantum observer (POPPA sampler, timelines). */
+    void onQuantum(QuantumObserver cb)
+    {
+        quantumCbs_.push_back(std::move(cb));
+    }
+
+    /** Advance simulated time by the given duration. */
+    void run(Seconds duration);
+
+    /**
+     * Advance until the given task completes (or the time cap is hit;
+     * then fatal(), because every experiment must terminate).
+     */
+    void runUntilComplete(const Task &task, Seconds cap = 600.0);
+
+    /** Advance until the task with the given id completes. */
+    void runUntilCompleteId(std::uint64_t id, Seconds cap = 600.0);
+
+    /** Advance until no live tasks remain (respects the cap). */
+    void runUntilIdle(Seconds cap = 600.0);
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /** Machine-wide uncore counters. */
+    const MachineCounters &machineCounters() const { return machine_; }
+
+    /** Scheduler access (freezing for POPPA, queue inspection). */
+    OsScheduler &scheduler() { return scheduler_; }
+    const OsScheduler &scheduler() const { return scheduler_; }
+
+    /** Configuration this engine simulates. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Contention solver (shared with calibration tooling). */
+    const ContentionSolver &solver() const { return solver_; }
+
+    /** Frequency used in the most recent quantum. */
+    Hertz currentFrequency() const { return lastFrequency_; }
+
+    /** Number of live tasks. */
+    std::size_t taskCount() const { return tasks_.size(); }
+
+    /** True while the task is still owned by the engine. */
+    bool alive(const Task &task) const;
+
+    /** True while a task with the given id is owned by the engine. */
+    bool aliveId(std::uint64_t id) const;
+
+    /** Non-owning view of every live task (POPPA victim selection). */
+    std::vector<Task *> liveTasks();
+
+    /** Run statistics (utilizations, completions, ...). */
+    EngineStats &stats() { return stats_; }
+    const EngineStats &stats() const { return stats_; }
+
+  private:
+    /** Execute one quantum. */
+    void step();
+
+    /** Advance one running task through (up to) the quantum. */
+    void advanceTask(Task &task, unsigned cpu, const ThreadPerf &perf,
+                     const SharedState &shared, Hertz freq, Seconds dt);
+
+    /** Close probe windows that the advance crossed. */
+    void updateProbe(Task &task);
+
+    /** Destroy finished tasks, invoking callbacks. */
+    void reapFinished();
+
+    const MachineConfig cfg_;
+    ContentionSolver solver_;
+    FrequencyGovernor governor_;
+    OsScheduler scheduler_;
+    Seconds quantum_;
+    Seconds now_ = 0;
+    Hertz lastFrequency_;
+    MachineCounters machine_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<CompletionCallback> completionCbs_;
+    std::vector<QuantumObserver> quantumCbs_;
+    std::uint64_t nextTaskId_ = 1;
+    EngineStats stats_;
+};
+
+} // namespace litmus::sim
+
+#endif // LITMUS_SIM_ENGINE_H

@@ -1,0 +1,33 @@
+#include "sim/frequency_governor.h"
+
+#include <algorithm>
+
+namespace litmus::sim
+{
+
+FrequencyGovernor::FrequencyGovernor(const MachineConfig &cfg,
+                                     FrequencyPolicy policy)
+    : cfg_(cfg), policy_(policy)
+{
+}
+
+Hertz
+FrequencyGovernor::frequency(unsigned active_cores) const
+{
+    if (policy_ == FrequencyPolicy::Fixed || active_cores <= 1) {
+        return policy_ == FrequencyPolicy::Fixed ? cfg_.baseFrequency
+                                                 : cfg_.turboFrequency;
+    }
+
+    // Turbo ladder: linear license decay from the single-core peak to
+    // the base frequency once half the cores are active; base beyond.
+    const unsigned knee = std::max(1u, cfg_.cores / 2);
+    if (active_cores >= knee)
+        return cfg_.baseFrequency;
+    const double t = static_cast<double>(active_cores - 1) /
+                     static_cast<double>(knee - 1 == 0 ? 1 : knee - 1);
+    return cfg_.turboFrequency +
+           t * (cfg_.baseFrequency - cfg_.turboFrequency);
+}
+
+} // namespace litmus::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DVFS policy: fixed-frequency (provider-pinned) or turbo.
+ *
+ * Section 3 pins all cores at 2.8 GHz because commercial vCPUs expose a
+ * single fixed frequency; Section 8 re-runs with Intel-Turbo-like
+ * behaviour where the chip clocks higher when few cores are active.
+ * The governor is chip-wide, matching how the paper discusses it.
+ */
+
+#ifndef LITMUS_SIM_FREQUENCY_GOVERNOR_H
+#define LITMUS_SIM_FREQUENCY_GOVERNOR_H
+
+#include "sim/machine_config.h"
+
+namespace litmus::sim
+{
+
+/** Governor policy selector. */
+enum class FrequencyPolicy
+{
+    /** Always run at MachineConfig::baseFrequency. */
+    Fixed,
+
+    /** Turbo ladder keyed by the number of active cores. */
+    Turbo,
+};
+
+/**
+ * Chip-wide frequency governor.
+ *
+ * The turbo ladder interpolates between the single-core turbo peak and
+ * the all-core base frequency, mirroring how Cascade Lake bins its
+ * turbo licenses by active core count.
+ */
+class FrequencyGovernor
+{
+  public:
+    FrequencyGovernor(const MachineConfig &cfg, FrequencyPolicy policy);
+
+    /** Frequency to use for a quantum with the given active cores. */
+    Hertz frequency(unsigned active_cores) const;
+
+    FrequencyPolicy policy() const { return policy_; }
+
+  private:
+    const MachineConfig &cfg_;
+    FrequencyPolicy policy_;
+};
+
+} // namespace litmus::sim
+
+#endif // LITMUS_SIM_FREQUENCY_GOVERNOR_H

@@ -1,0 +1,97 @@
+#include "sim/machine_config.h"
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+void
+MachineConfig::validate() const
+{
+    if (cores == 0)
+        fatal("MachineConfig: cores must be positive");
+    if (sockets == 0 || cores % sockets != 0)
+        fatal("MachineConfig: cores (", cores,
+              ") must divide evenly across sockets (", sockets, ")");
+    if (smtWays == 0 || smtWays > 2)
+        fatal("MachineConfig: smtWays must be 1 or 2, got ", smtWays);
+    if (baseFrequency <= 0 || turboFrequency < baseFrequency)
+        fatal("MachineConfig: bad frequency range");
+    if (l3Capacity == 0)
+        fatal("MachineConfig: l3Capacity must be positive");
+    if (l3HitLatencyNs <= 0 || memLatencyNs <= l3HitLatencyNs)
+        fatal("MachineConfig: latencies must satisfy 0 < L3 < mem");
+    if (l3ServiceRate <= 0 || memServiceRate <= 0)
+        fatal("MachineConfig: service rates must be positive");
+    if (l3QueueMax < 1 || memQueueMax < 1 || queueGamma <= 0)
+        fatal("MachineConfig: queue model parameters out of range");
+    if (capacityMissExponent <= 0)
+        fatal("MachineConfig: capacityMissExponent must be positive");
+    if (residencyFactor < 0 || residencyFactor > 1)
+        fatal("MachineConfig: residencyFactor must be in [0,1]");
+    if (privateCouplingL3 < 0 || privateCouplingMem < 0 ||
+        privateCouplingMax < 0) {
+        fatal("MachineConfig: coupling parameters must be non-negative");
+    }
+    if (smtCpiMultiplier < 1)
+        fatal("MachineConfig: smtCpiMultiplier must be >= 1");
+    if (timeSlice <= 0)
+        fatal("MachineConfig: timeSlice must be positive");
+    if (warmthMaxPenalty < 0 || warmthRate < 0)
+        fatal("MachineConfig: warmth parameters must be non-negative");
+}
+
+MachineConfig
+MachineConfig::cascadeLake5218()
+{
+    MachineConfig cfg;
+    cfg.name = "xeon-gold-5218";
+    cfg.cores = 32;
+    cfg.smtWays = 1;
+    cfg.baseFrequency = 2.8_GHz;
+    cfg.turboFrequency = 3.9_GHz;
+    cfg.l3Capacity = 44_MiB;
+    cfg.l3HitLatencyNs = 14.3;
+    cfg.memLatencyNs = 71.0;
+    cfg.l3ServiceRate = 5.6;
+    cfg.memServiceRate = 1.95;
+    cfg.memoryCapacity = 384_GiB;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::cascadeLake5218Dual()
+{
+    MachineConfig cfg = cascadeLake5218();
+    cfg.name = "xeon-gold-5218-dual";
+    cfg.sockets = 2;
+    // Per-socket resources: half of the folded single-domain pools.
+    cfg.l3Capacity = 22_MiB;
+    cfg.l3ServiceRate /= 2.0;
+    cfg.memServiceRate /= 2.0;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::iceLake4314()
+{
+    MachineConfig cfg;
+    cfg.name = "xeon-silver-4314";
+    cfg.cores = 16;
+    cfg.smtWays = 1;
+    cfg.baseFrequency = 2.4_GHz;
+    cfg.turboFrequency = 3.4_GHz;
+    cfg.l3Capacity = 24_MiB;
+    // Ice Lake: slightly slower L3, better memory subsystem per core.
+    cfg.l3HitLatencyNs = 17.0;
+    cfg.memLatencyNs = 75.0;
+    cfg.l3ServiceRate = 3.2;
+    cfg.memServiceRate = 1.35;
+    cfg.memoryCapacity = 128_GiB;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace litmus::sim

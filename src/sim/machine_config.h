@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Machine configuration presets for the contention simulator.
+ *
+ * The paper evaluates on two Intel servers: a dual-socket Xeon Gold
+ * 5218 (Cascade Lake, 32 cores total, 2x22 MiB L3, 384 GiB) and a Xeon
+ * Silver 4314 (Ice Lake, 16 cores, 24 MiB L3, 128 GiB). We model each
+ * machine as a single shared-resource domain: all cores share one L3
+ * capacity pool, one L3 access-bandwidth pool, and one DRAM bandwidth
+ * pool. Latencies are specified in nanoseconds and bandwidths in
+ * events per nanosecond so DVFS changes interact with memory the same
+ * way they do on hardware (a faster core waits more cycles for DRAM).
+ */
+
+#ifndef LITMUS_SIM_MACHINE_CONFIG_H
+#define LITMUS_SIM_MACHINE_CONFIG_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace litmus::sim
+{
+
+/**
+ * Static description of the simulated server.
+ *
+ * All tunables that shape contention live here so experiments can vary
+ * them (the sensitivity studies in Section 8 swap whole presets).
+ */
+struct MachineConfig
+{
+    /** Human-readable preset name, e.g. "xeon-gold-5218". */
+    std::string name;
+
+    /** Physical cores across all sockets. */
+    unsigned cores = 32;
+
+    /**
+     * Shared-resource domains (sockets). Each socket owns its own L3
+     * capacity pool, L3 access bandwidth, and memory bandwidth (the
+     * per-domain fields below); cores are split evenly across
+     * sockets, consecutive core indices per socket. The default
+     * presets fold the paper's dual-socket testbed into one domain;
+     * cascadeLake5218Dual() models the sockets explicitly.
+     */
+    unsigned sockets = 1;
+
+    /** Hardware threads per core (1 = SMT disabled, as on Lambda). */
+    unsigned smtWays = 1;
+
+    /** Nominal fixed frequency (the paper pins 2.8 GHz). */
+    Hertz baseFrequency = 2.8_GHz;
+
+    /** Peak single-core turbo frequency. */
+    Hertz turboFrequency = 3.9_GHz;
+
+    /** @name Shared-domain geometry and timing @{ */
+    /** Shared L3 capacity of the domain. */
+    Bytes l3Capacity = 44_MiB;
+
+    /** Uncontended L3 hit latency (ns). */
+    double l3HitLatencyNs = 14.3;
+
+    /** Uncontended DRAM access latency (ns). */
+    double memLatencyNs = 71.0;
+
+    /** L3 access service bandwidth (accesses per ns, whole domain). */
+    double l3ServiceRate = 5.6;
+
+    /** DRAM line service bandwidth (64B lines per ns, whole domain). */
+    double memServiceRate = 1.95;
+
+    /**
+     * Queuing model: latency multiplier saturates smoothly as
+     * utilization approaches 1, qf(u) = 1 + (qmax - 1) * u^gamma.
+     * Bounded on purpose: a saturated DRAM bus raises latency a few
+     * fold, it does not diverge (requests throttle the producers).
+     */
+    double l3QueueMax = 4.5;
+    double memQueueMax = 3.2;
+    double queueGamma = 2.0;
+
+    /** Exponent of the L3 capacity-pressure miss curve. */
+    double capacityMissExponent = 0.42;
+
+    /**
+     * Fraction of a *waiting* (runnable but switched-out) task's L3
+     * working set that still occupies the cache and pressures the
+     * running tasks' shares. Temporal sharing packs many functions'
+     * residue into the L3 — the effect that makes Section 7.2's
+     * shared environments markedly more congested than one-per-core.
+     */
+    double residencyFactor = 0.25;
+    /** @} */
+
+    /** @name Private-resource coupling @{ */
+    /**
+     * Strength of the second-order effect where a busy uncore slightly
+     * lengthens private-resource time (TLB walks, prefetch drop, L2
+     * queue occupancy). Scaled by the task's own memory intensity so
+     * compute-bound functions stay unaffected (float-py in the paper
+     * sees a 0.05% total slowdown while the suite average is ~4%),
+     * and capped so traffic-generator extremes stay plausible.
+     */
+    double privateCouplingL3 = 0.30;
+    double privateCouplingMem = 0.32;
+
+    /** Memory intensity (L2 MPKI) at which the coupling saturates. */
+    double couplingSaturationMpki = 2.5;
+
+    /** Upper bound on the coupling inflation (fraction of cpi0). */
+    double privateCouplingMax = 0.15;
+    /** @} */
+
+    /** @name SMT @{ */
+    /**
+     * Per-thread CPI multiplier when the SMT sibling is active: both
+     * threads share issue slots and private caches.
+     */
+    double smtCpiMultiplier = 1.95;
+    /** @} */
+
+    /** @name OS scheduling @{ */
+    /** Round-robin time slice for oversubscribed CPUs. */
+    Seconds timeSlice = 5_ms;
+
+    /** Direct cost of a context switch, charged as private cycles. */
+    Cycles contextSwitchCycles = 6000;
+
+    /**
+     * Cache-warmth CPI inflation from temporal sharing, following the
+     * logarithmic saturating shape of Figure 14:
+     *   warmth(n) = 1 + warmthMaxPenalty * (1 - exp(-warmthRate*(n-1)))
+     * for n co-runners on the CPU; ~1.025 at n=10, flat past ~20.
+     */
+    double warmthMaxPenalty = 0.028;
+    double warmthRate = 0.22;
+    /** @} */
+
+    /** Main memory capacity (bounds admission in the invoker). */
+    Bytes memoryCapacity = 384_GiB;
+
+    /** Total hardware threads (scheduling targets). */
+    unsigned hwThreads() const { return cores * smtWays; }
+
+    /** Cores per socket. */
+    unsigned coresPerSocket() const { return cores / sockets; }
+
+    /** Hardware threads per socket. */
+    unsigned hwThreadsPerSocket() const
+    {
+        return coresPerSocket() * smtWays;
+    }
+
+    /** Socket owning a hardware-thread index. */
+    unsigned socketOf(unsigned cpu) const
+    {
+        return (cpu / smtWays) / coresPerSocket();
+    }
+
+    /** Abort with fatal() if any field is inconsistent. */
+    void validate() const;
+
+    /** Dual-socket Xeon Gold 5218 folded into one domain, Section 3. */
+    static MachineConfig cascadeLake5218();
+
+    /**
+     * The same server with both sockets modelled explicitly: cores
+     * 0-15 on socket 0, 16-31 on socket 1, each with its own 22 MiB
+     * L3 and half the bandwidth pools. Cross-socket isolation is
+     * perfect in this model (no coherence traffic).
+     */
+    static MachineConfig cascadeLake5218Dual();
+
+    /** Xeon Silver 4314 domain (Ice Lake), Section 8. */
+    static MachineConfig iceLake4314();
+};
+
+} // namespace litmus::sim
+
+#endif // LITMUS_SIM_MACHINE_CONFIG_H

@@ -1,0 +1,240 @@
+#include "sim/os_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+OsScheduler::OsScheduler(const MachineConfig &cfg) : cfg_(cfg)
+{
+    cpus_.resize(cfg.hwThreads());
+}
+
+std::vector<unsigned>
+OsScheduler::allowedCpus(const Task *task) const
+{
+    if (!task->affinity().empty()) {
+        for (unsigned cpu : task->affinity()) {
+            if (cpu >= cpus_.size())
+                fatal("Task ", task->name(), " affinity cpu ", cpu,
+                      " exceeds machine size ", cpus_.size());
+        }
+        return task->affinity();
+    }
+    std::vector<unsigned> all(cpus_.size());
+    for (unsigned i = 0; i < cpus_.size(); ++i)
+        all[i] = i;
+    return all;
+}
+
+void
+OsScheduler::add(Task *task)
+{
+    const auto allowed = allowedCpus(task);
+    unsigned best = allowed.front();
+    for (unsigned cpu : allowed) {
+        if (cpus_[cpu].queue.size() < cpus_[best].queue.size())
+            best = cpu;
+    }
+    cpus_[best].queue.push_back(task);
+}
+
+void
+OsScheduler::remove(Task *task)
+{
+    for (auto &cpu : cpus_) {
+        auto it = std::find(cpu.queue.begin(), cpu.queue.end(), task);
+        if (it != cpu.queue.end()) {
+            const bool wasRunning = it == cpu.queue.begin();
+            cpu.queue.erase(it);
+            if (wasRunning)
+                cpu.sliceUsed = 0;
+            frozen_.erase(task);
+            rebalance();
+            return;
+        }
+    }
+    panic("OsScheduler::remove: task ", task->name(), " not queued");
+}
+
+Task *
+OsScheduler::runningOn(unsigned cpu) const
+{
+    if (cpu >= cpus_.size())
+        panic("OsScheduler::runningOn: cpu ", cpu, " out of range");
+    for (Task *task : cpus_[cpu].queue) {
+        if (!frozen_.contains(task))
+            return task;
+    }
+    return nullptr;
+}
+
+void
+OsScheduler::tick(Seconds dt)
+{
+    for (auto &cpu : cpus_) {
+        if (cpu.queue.size() < 2) {
+            cpu.sliceUsed = 0;
+            continue;
+        }
+        cpu.sliceUsed += dt;
+        if (cpu.sliceUsed >= cfg_.timeSlice) {
+            cpu.sliceUsed = 0;
+            Task *old = cpu.queue.front();
+            cpu.queue.pop_front();
+            cpu.queue.push_back(old);
+            Task *incoming = cpu.queue.front();
+            if (incoming != old) {
+                incoming->counters().contextSwitches += 1;
+                cpu.pendingSwitchCycles += cfg_.contextSwitchCycles;
+            }
+        }
+    }
+}
+
+Cycles
+OsScheduler::consumePendingSwitchCycles(unsigned cpu)
+{
+    const Cycles pending = cpus_[cpu].pendingSwitchCycles;
+    cpus_[cpu].pendingSwitchCycles = 0;
+    return pending;
+}
+
+unsigned
+OsScheduler::queueLength(unsigned cpu) const
+{
+    return static_cast<unsigned>(cpus_[cpu].queue.size());
+}
+
+double
+OsScheduler::warmthForCount(unsigned co_runners) const
+{
+    if (co_runners <= 1)
+        return 1.0;
+    const double n = static_cast<double>(co_runners);
+    return 1.0 + cfg_.warmthMaxPenalty *
+                     (1.0 - std::exp(-cfg_.warmthRate * (n - 1.0)));
+}
+
+double
+OsScheduler::warmthMult(unsigned cpu) const
+{
+    return warmthForCount(queueLength(cpu));
+}
+
+unsigned
+OsScheduler::activeCores() const
+{
+    unsigned active = 0;
+    for (unsigned core = 0; core < cfg_.cores; ++core) {
+        for (unsigned way = 0; way < cfg_.smtWays; ++way) {
+            if (runningOn(core * cfg_.smtWays + way)) {
+                ++active;
+                break;
+            }
+        }
+    }
+    return active;
+}
+
+bool
+OsScheduler::siblingBusy(unsigned cpu) const
+{
+    if (cfg_.smtWays < 2)
+        return false;
+    const unsigned core = cpu / cfg_.smtWays;
+    const unsigned way = cpu % cfg_.smtWays;
+    const unsigned sibling = core * cfg_.smtWays + (way ^ 1u);
+    return runningOn(sibling) != nullptr;
+}
+
+void
+OsScheduler::setFrozen(Task *task, bool frozen)
+{
+    if (frozen)
+        frozen_.insert(task);
+    else
+        frozen_.erase(task);
+}
+
+bool
+OsScheduler::isFrozen(const Task *task) const
+{
+    return frozen_.contains(task);
+}
+
+double
+OsScheduler::waitingWorkingSet() const
+{
+    return waitingWorkingSet(0, static_cast<unsigned>(cpus_.size()));
+}
+
+double
+OsScheduler::waitingWorkingSet(unsigned cpu_begin,
+                               unsigned cpu_end) const
+{
+    double total = 0.0;
+    cpu_end = std::min(cpu_end, static_cast<unsigned>(cpus_.size()));
+    for (unsigned cpu = cpu_begin; cpu < cpu_end; ++cpu) {
+        const Task *running = runningOn(cpu);
+        for (const Task *task : cpus_[cpu].queue) {
+            if (task != running && !task->finished()) {
+                total += static_cast<double>(
+                    task->demand().l3WorkingSet);
+            }
+        }
+    }
+    return total;
+}
+
+unsigned
+OsScheduler::totalTasks() const
+{
+    unsigned total = 0;
+    for (const auto &cpu : cpus_)
+        total += static_cast<unsigned>(cpu.queue.size());
+    return total;
+}
+
+void
+OsScheduler::rebalance()
+{
+    // Move one *waiting* task from the longest queue onto each idle CPU
+    // that its affinity allows. One pass is enough; completions call
+    // this every time.
+    for (unsigned cpu = 0; cpu < cpus_.size(); ++cpu) {
+        if (!cpus_[cpu].queue.empty())
+            continue;
+        Task *candidate = nullptr;
+        unsigned fromCpu = 0;
+        std::size_t fromLen = 1; // need a queue with >= 2 tasks
+        for (unsigned other = 0; other < cpus_.size(); ++other) {
+            if (other == cpu || cpus_[other].queue.size() <= fromLen)
+                continue;
+            // Waiting tasks only (skip the running front).
+            for (std::size_t k = 1; k < cpus_[other].queue.size(); ++k) {
+                Task *t = cpus_[other].queue[k];
+                const auto &aff = t->affinity();
+                const bool ok =
+                    aff.empty() ||
+                    std::find(aff.begin(), aff.end(), cpu) != aff.end();
+                if (ok) {
+                    candidate = t;
+                    fromCpu = other;
+                    fromLen = cpus_[other].queue.size();
+                    break;
+                }
+            }
+        }
+        if (candidate) {
+            auto &q = cpus_[fromCpu].queue;
+            q.erase(std::find(q.begin(), q.end(), candidate));
+            cpus_[cpu].queue.push_back(candidate);
+        }
+    }
+}
+
+} // namespace litmus::sim

@@ -1,0 +1,54 @@
+#include "sim/pmu.h"
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+void
+TaskCounters::add(const TaskCounters &other)
+{
+    instructions += other.instructions;
+    cycles += other.cycles;
+    stallSharedCycles += other.stallSharedCycles;
+    l2Misses += other.l2Misses;
+    l3Misses += other.l3Misses;
+    contextSwitches += other.contextSwitches;
+}
+
+TaskCounters
+TaskCounters::since(const TaskCounters &earlier) const
+{
+    TaskCounters d;
+    d.instructions = instructions - earlier.instructions;
+    d.cycles = cycles - earlier.cycles;
+    d.stallSharedCycles = stallSharedCycles - earlier.stallSharedCycles;
+    d.l2Misses = l2Misses - earlier.l2Misses;
+    d.l3Misses = l3Misses - earlier.l3Misses;
+    d.contextSwitches = contextSwitches - earlier.contextSwitches;
+    if (d.instructions < 0 || d.cycles < 0)
+        panic("TaskCounters::since: snapshot is newer than current state");
+    return d;
+}
+
+MachineCounters
+MachineCounters::since(const MachineCounters &earlier) const
+{
+    MachineCounters d;
+    d.l3Accesses = l3Accesses - earlier.l3Accesses;
+    d.l3Misses = l3Misses - earlier.l3Misses;
+    d.time = time - earlier.time;
+    if (d.time < 0)
+        panic("MachineCounters::since: snapshot is newer than now");
+    return d;
+}
+
+double
+MachineCounters::l3MissRatePerUs() const
+{
+    if (time <= 0)
+        return 0.0;
+    return l3Misses / (time * 1e6);
+}
+
+} // namespace litmus::sim

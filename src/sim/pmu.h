@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Performance monitoring: per-task and machine-wide counters.
+ *
+ * Litmus pricing reads four hardware events (Section 5.2): retired
+ * instructions, unhalted cycles, cycles stalled on L2 misses
+ * (cycle_activity.stalls_l2_miss — this *is* T_shared), and L3 misses.
+ * The simulator defines the same counters with identical semantics:
+ *   T_shared  = stallSharedCycles
+ *   T_private = cycles - stallSharedCycles
+ */
+
+#ifndef LITMUS_SIM_PMU_H
+#define LITMUS_SIM_PMU_H
+
+#include "common/units.h"
+
+namespace litmus::sim
+{
+
+/**
+ * Counter block accrued while a task executes (the per-process view
+ * Linux perf would report).
+ */
+struct TaskCounters
+{
+    Instructions instructions = 0;
+    Cycles cycles = 0;
+    /** Cycles stalled waiting on the shared domain (T_shared). */
+    Cycles stallSharedCycles = 0;
+    double l2Misses = 0;
+    double l3Misses = 0;
+    std::uint64_t contextSwitches = 0;
+
+    /** Cycles on private resources (T_private). */
+    Cycles privateCycles() const { return cycles - stallSharedCycles; }
+
+    /** Accumulate another block (used when merging quanta). */
+    void add(const TaskCounters &other);
+
+    /** Difference since a snapshot; other must be an earlier state. */
+    TaskCounters since(const TaskCounters &earlier) const;
+};
+
+/**
+ * Machine-wide counters (the uncore view): total L3 traffic and misses
+ * plus elapsed wall-clock time, used by the Litmus probe to observe the
+ * crowdedness of shared resources beyond the probing task itself.
+ */
+struct MachineCounters
+{
+    double l3Accesses = 0;
+    double l3Misses = 0;
+    Seconds time = 0;
+
+    MachineCounters since(const MachineCounters &earlier) const;
+
+    /** Machine L3 miss rate in misses per microsecond of wall time. */
+    double l3MissRatePerUs() const;
+};
+
+} // namespace litmus::sim
+
+#endif // LITMUS_SIM_PMU_H

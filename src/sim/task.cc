@@ -1,0 +1,29 @@
+#include "sim/task.h"
+
+#include "common/logging.h"
+
+namespace litmus::sim
+{
+
+void
+ResourceDemand::validate() const
+{
+    if (cpi0 <= 0.0)
+        fatal("ResourceDemand: cpi0 must be positive, got ", cpi0);
+    if (l2Mpki < 0.0)
+        fatal("ResourceDemand: l2Mpki must be non-negative");
+    if (l3MissBase < 0.0 || l3MissBase > 1.0)
+        fatal("ResourceDemand: l3MissBase must be in [0,1], got ",
+              l3MissBase);
+    if (mlp < 1.0)
+        fatal("ResourceDemand: mlp must be >= 1, got ", mlp);
+}
+
+Task::Task(std::string name, Instructions probe_window)
+    : name_(std::move(name)), probeWindow_(probe_window)
+{
+    if (probe_window < 0)
+        fatal("Task: negative probe window");
+}
+
+} // namespace litmus::sim

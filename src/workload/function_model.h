@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Serverless function models: spec (static description) and task
+ * factory (per-invocation instantiation with jitter).
+ *
+ * A FunctionSpec describes one Table 1 benchmark: its language (which
+ * fixes its startup program and probe window), the demand of its body
+ * phases, and its memory footprint for billing. makeInvocation() turns
+ * a spec into a schedulable task for one invocation.
+ */
+
+#ifndef LITMUS_WORKLOAD_FUNCTION_MODEL_H
+#define LITMUS_WORKLOAD_FUNCTION_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/runtime_startup.h"
+
+namespace litmus::workload
+{
+
+/** Static description of one serverless function. */
+struct FunctionSpec
+{
+    /** Benchmark name with language suffix, e.g. "pager-py". */
+    std::string name;
+
+    Language language = Language::Python;
+
+    /** Table 1 asterisk: member of the provider's reference set. */
+    bool reference = false;
+
+    /** Member of the evaluation test set (x-axis of Figures 11-21). */
+    bool testSet = false;
+
+    /** Body phases, executed after the language startup. */
+    std::vector<Phase> body;
+
+    /** Allocated memory for billing (pay-as-you-go GB-seconds). */
+    Bytes memoryFootprint = 256_MiB;
+
+    /** Total body instructions. */
+    Instructions bodyInstructions() const;
+
+    /** Startup + body as one program (no jitter). */
+    PhaseProgram nominalProgram() const;
+
+    void validate() const;
+};
+
+/** Per-invocation options. */
+struct InvocationOptions
+{
+    /** Capture the Litmus probe over the startup window. */
+    bool withProbe = true;
+
+    /**
+     * Override the probe window length in instructions (0 = the
+     * language default). Used by the probe-length ablation; must not
+     * exceed the startup length or the probe loses its common
+     * substrate.
+     */
+    Instructions probeWindow = 0;
+
+    /** Relative jitter of phase instruction counts. */
+    double instructionJitter = 0.015;
+
+    /** Relative jitter of memory intensity. */
+    double memoryJitter = 0.02;
+};
+
+/**
+ * Instantiate one invocation of the function as a schedulable task.
+ *
+ * The startup phases are never jittered (they are the probe substrate
+ * and must stay consistent across invocations); body phases receive
+ * small per-invocation jitter from @p rng.
+ */
+std::unique_ptr<ProgramTask> makeInvocation(const FunctionSpec &spec,
+                                            Rng &rng,
+                                            const InvocationOptions &opts =
+                                                InvocationOptions{});
+
+/**
+ * Build the jitter-free invocation used for solo baselines so T_solo
+ * is deterministic.
+ */
+std::unique_ptr<ProgramTask> makeNominalInvocation(
+    const FunctionSpec &spec, bool with_probe = true);
+
+} // namespace litmus::workload
+
+#endif // LITMUS_WORKLOAD_FUNCTION_MODEL_H

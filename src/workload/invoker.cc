@@ -1,0 +1,91 @@
+#include "workload/invoker.h"
+
+#include "common/logging.h"
+#include "workload/suite.h"
+
+namespace litmus::workload
+{
+
+Invoker::Invoker(sim::Engine &engine, InvokerConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    if (cfg_.functionPool.empty())
+        cfg_.functionPool = allFunctions();
+    if (cfg_.cpuPool.empty())
+        fatal("Invoker: empty cpuPool");
+    if (cfg_.placement == InvokerConfig::Placement::OnePerCore &&
+        cfg_.cpuPool.size() < cfg_.targetCount) {
+        fatal("Invoker: OnePerCore needs >= targetCount CPUs (",
+              cfg_.cpuPool.size(), " < ", cfg_.targetCount, ")");
+    }
+}
+
+void
+Invoker::start()
+{
+    if (!owned_.empty())
+        fatal("Invoker::start called twice");
+    for (unsigned i = 0; i < cfg_.targetCount; ++i) {
+        if (cfg_.placement == InvokerConfig::Placement::OnePerCore)
+            launch({cfg_.cpuPool[i]});
+        else
+            launch(cfg_.cpuPool);
+    }
+}
+
+bool
+Invoker::owns(const sim::Task &task) const
+{
+    return owned_.contains(task.id());
+}
+
+bool
+Invoker::handleCompletion(sim::Task &task)
+{
+    const auto it = owned_.find(task.id());
+    if (it == owned_.end())
+        return false;
+    std::vector<unsigned> affinity = std::move(it->second.affinity);
+    committedMemory_ -= it->second.memory;
+    owned_.erase(it);
+    launch(std::move(affinity));
+    return true;
+}
+
+void
+Invoker::launch(std::vector<unsigned> affinity)
+{
+    const Bytes capacity = engine_.config().memoryCapacity;
+
+    // Sample a function; when the memory limit is enforced, resample a
+    // few times for one that fits, preferring smaller footprints the
+    // way a real placer backfills.
+    const FunctionSpec *spec = nullptr;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const FunctionSpec *candidate =
+            cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
+        if (!cfg_.enforceMemoryCapacity ||
+            committedMemory_ + candidate->memoryFootprint <= capacity) {
+            spec = candidate;
+            break;
+        }
+    }
+    if (!spec) {
+        // Machine memory full: defer this slot until completions free
+        // capacity (the next completion retries via launch()).
+        ++deferred_;
+        return;
+    }
+
+    InvocationOptions opts;
+    opts.withProbe = cfg_.probes;
+    auto task = makeInvocation(*spec, rng_, opts);
+    task->setAffinity(affinity);
+    sim::Task &handle = engine_.add(std::move(task));
+    committedMemory_ += spec->memoryFootprint;
+    owned_.emplace(handle.id(),
+                   Owned{std::move(affinity), spec->memoryFootprint});
+    ++launched_;
+}
+
+} // namespace litmus::workload

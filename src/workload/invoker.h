@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The invoker: keeps a constant population of co-running functions.
+ *
+ * Sections 4 and 7 maintain N co-running functions by launching a new
+ * randomly selected function whenever one finishes. The invoker
+ * reproduces that churn with two placement modes:
+ *
+ *  - OnePerCore (Section 7.1): each function is pinned to its own CPU;
+ *    a replacement inherits the freed CPU.
+ *  - Pooled (Section 7.2): functions share a CPU pool and may run on
+ *    any CPU in it (temporal sharing via the OS scheduler).
+ */
+
+#ifndef LITMUS_WORKLOAD_INVOKER_H
+#define LITMUS_WORKLOAD_INVOKER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "workload/function_model.h"
+
+namespace litmus::workload
+{
+
+/** Invoker configuration. */
+struct InvokerConfig
+{
+    /** Placement of co-runner functions. */
+    enum class Placement
+    {
+        OnePerCore,
+        Pooled,
+    };
+
+    Placement placement = Placement::OnePerCore;
+
+    /** Number of co-running functions to maintain. */
+    unsigned targetCount = 26;
+
+    /**
+     * CPUs available to co-runners. In OnePerCore mode there must be
+     * at least targetCount of them; in Pooled mode the whole list is
+     * every task's affinity.
+     */
+    std::vector<unsigned> cpuPool;
+
+    /** Sampling pool (defaults to the whole Table 1 suite). */
+    std::vector<const FunctionSpec *> functionPool;
+
+    /** Co-runners don't need probes; enable for full-platform demos. */
+    bool probes = false;
+
+    /**
+     * Enforce the machine's main-memory capacity: a function whose
+     * footprint does not fit is deferred until completions free
+     * memory (the paper's experiments were sized by exactly this
+     * limit — Section 7.2 and the Ice Lake setup).
+     */
+    bool enforceMemoryCapacity = true;
+
+    /** Seed for function selection and jitter. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Maintains the co-runner population inside an engine.
+ *
+ * The experiment harness owns the engine's completion callback and
+ * must forward co-runner completions to handleCompletion().
+ */
+class Invoker
+{
+  public:
+    Invoker(sim::Engine &engine, InvokerConfig cfg);
+
+    /** Launch the initial population. */
+    void start();
+
+    /** True if the invoker launched this task. */
+    bool owns(const sim::Task &task) const;
+
+    /**
+     * Notify that a task completed. If it was a co-runner, a freshly
+     * sampled replacement is launched (same CPU in OnePerCore mode).
+     * @return true when the task belonged to the invoker.
+     */
+    bool handleCompletion(sim::Task &task);
+
+    /** Number of co-runners currently live. */
+    unsigned liveCount() const
+    {
+        return static_cast<unsigned>(owned_.size());
+    }
+
+    /** Total functions launched so far (initial + churn). */
+    std::uint64_t launchedCount() const { return launched_; }
+
+    /** Memory currently committed to live co-runners (bytes). */
+    Bytes committedMemory() const { return committedMemory_; }
+
+    /** Launches deferred (so far) because memory was full. */
+    std::uint64_t deferredCount() const { return deferred_; }
+
+    const InvokerConfig &config() const { return cfg_; }
+
+  private:
+    /** Launch one sampled function on the given CPUs. */
+    void launch(std::vector<unsigned> affinity);
+
+    sim::Engine &engine_;
+    InvokerConfig cfg_;
+    Rng rng_;
+    /** Live co-runners: task id -> affinity and committed memory. */
+    struct Owned
+    {
+        std::vector<unsigned> affinity;
+        Bytes memory;
+    };
+    std::unordered_map<std::uint64_t, Owned> owned_;
+    std::uint64_t launched_ = 0;
+    std::uint64_t deferred_ = 0;
+    Bytes committedMemory_ = 0;
+};
+
+} // namespace litmus::workload
+
+#endif // LITMUS_WORKLOAD_INVOKER_H

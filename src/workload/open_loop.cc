@@ -1,0 +1,89 @@
+#include "workload/open_loop.h"
+
+#include "common/logging.h"
+#include "workload/suite.h"
+
+namespace litmus::workload
+{
+
+OpenLoopInvoker::OpenLoopInvoker(sim::Engine &engine, OpenLoopConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    if (cfg_.arrivalsPerSecond <= 0)
+        fatal("OpenLoopInvoker: arrival rate must be positive");
+    if (cfg_.cpuPool.empty())
+        fatal("OpenLoopInvoker: empty cpuPool");
+    if (cfg_.functionPool.empty())
+        cfg_.functionPool = allFunctions();
+}
+
+void
+OpenLoopInvoker::start()
+{
+    if (started_)
+        fatal("OpenLoopInvoker::start called twice");
+    started_ = true;
+    nextArrival_ =
+        engine_.now() + rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
+    engine_.onQuantum(
+        [this](Seconds now, const sim::SharedState &) { onQuantum(now); });
+}
+
+bool
+OpenLoopInvoker::owns(const sim::Task &task) const
+{
+    return live_.contains(task.id());
+}
+
+bool
+OpenLoopInvoker::handleCompletion(sim::Task &task)
+{
+    const auto it = live_.find(task.id());
+    if (it == live_.end())
+        return false;
+    committedMemory_ -= it->second;
+    live_.erase(it);
+    return true;
+}
+
+void
+OpenLoopInvoker::onQuantum(Seconds now)
+{
+    while (now >= nextArrival_) {
+        ++arrivals_;
+        admit();
+        nextArrival_ +=
+            rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
+    }
+}
+
+void
+OpenLoopInvoker::admit()
+{
+    if (cfg_.maxConcurrent > 0 &&
+        live_.size() >= cfg_.maxConcurrent) {
+        ++rejectedCap_;
+        return;
+    }
+
+    const FunctionSpec &spec =
+        *cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
+
+    if (cfg_.enforceMemoryCapacity &&
+        committedMemory_ + spec.memoryFootprint >
+            engine_.config().memoryCapacity) {
+        ++rejectedMemory_;
+        return;
+    }
+
+    InvocationOptions opts;
+    opts.withProbe = cfg_.probes;
+    auto task = makeInvocation(spec, rng_, opts);
+    task->setAffinity(cfg_.cpuPool);
+    sim::Task &handle = engine_.add(std::move(task));
+    committedMemory_ += spec.memoryFootprint;
+    live_.emplace(handle.id(), spec.memoryFootprint);
+    ++launched_;
+}
+
+} // namespace litmus::workload

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Open-loop invocation: Poisson arrivals instead of fixed concurrency.
+ *
+ * The paper's evaluation holds the co-running count constant (a
+ * closed loop). Production FaaS traffic is an arrival process: bursts
+ * overcrowd the machine and quiet spells drain it — exactly the
+ * "transient traffic jams" Section 5 argues the Litmus test must
+ * catch. The OpenLoopInvoker drives the simulator with exponential
+ * inter-arrival times, subject to a concurrency cap and the machine's
+ * memory capacity, so experiments can study pricing under realistic
+ * load swings.
+ */
+
+#ifndef LITMUS_WORKLOAD_OPEN_LOOP_H
+#define LITMUS_WORKLOAD_OPEN_LOOP_H
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "workload/function_model.h"
+
+namespace litmus::workload
+{
+
+/** Open-loop driver configuration. */
+struct OpenLoopConfig
+{
+    /** Mean arrival rate in invocations per second. */
+    double arrivalsPerSecond = 100.0;
+
+    /** CPUs arrivals may use (pooled placement). */
+    std::vector<unsigned> cpuPool;
+
+    /** Sampling pool (defaults to the whole Table 1 suite). */
+    std::vector<const FunctionSpec *> functionPool;
+
+    /** Hard concurrency cap (0 = unlimited). Arrivals beyond it are
+     *  rejected, like a platform's concurrency limit. */
+    unsigned maxConcurrent = 0;
+
+    /** Enforce the machine's memory capacity on admission. */
+    bool enforceMemoryCapacity = true;
+
+    /** Attach Litmus probes to invocations. */
+    bool probes = false;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Poisson-arrival workload driver.
+ *
+ * Attach it to an engine, call start(), and forward completions to
+ * handleCompletion() (same contract as the closed-loop Invoker).
+ * Arrivals fire from the engine's quantum callback, so resolution is
+ * one quantum (50 us by default).
+ */
+class OpenLoopInvoker
+{
+  public:
+    OpenLoopInvoker(sim::Engine &engine, OpenLoopConfig cfg);
+
+    /** Begin generating arrivals (registers the quantum hook). */
+    void start();
+
+    /** True if this driver launched the task. */
+    bool owns(const sim::Task &task) const;
+
+    /** Forward completions; returns true when the task was ours. */
+    bool handleCompletion(sim::Task &task);
+
+    /** @name Telemetry @{ */
+    unsigned liveCount() const
+    {
+        return static_cast<unsigned>(live_.size());
+    }
+    std::uint64_t arrivals() const { return arrivals_; }
+    std::uint64_t launched() const { return launched_; }
+    std::uint64_t rejectedConcurrency() const { return rejectedCap_; }
+    std::uint64_t rejectedMemory() const { return rejectedMemory_; }
+    Bytes committedMemory() const { return committedMemory_; }
+    /** @} */
+
+    const OpenLoopConfig &config() const { return cfg_; }
+
+  private:
+    /** Fire arrivals whose time has come. */
+    void onQuantum(Seconds now);
+
+    /** Admit and launch one sampled invocation. */
+    void admit();
+
+    sim::Engine &engine_;
+    OpenLoopConfig cfg_;
+    Rng rng_;
+    bool started_ = false;
+    Seconds nextArrival_ = 0;
+    std::unordered_map<std::uint64_t, Bytes> live_;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t launched_ = 0;
+    std::uint64_t rejectedCap_ = 0;
+    std::uint64_t rejectedMemory_ = 0;
+    Bytes committedMemory_ = 0;
+};
+
+} // namespace litmus::workload
+
+#endif // LITMUS_WORKLOAD_OPEN_LOOP_H

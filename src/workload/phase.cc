@@ -1,0 +1,25 @@
+#include "workload/phase.h"
+
+#include "common/logging.h"
+
+namespace litmus::workload
+{
+
+void
+Phase::validate() const
+{
+    if (instructions <= 0)
+        fatal("Phase ", name, ": instructions must be positive");
+    demand.validate();
+}
+
+Phase
+jitterPhase(const Phase &phase, Rng &rng, double inst_rel, double mem_rel)
+{
+    Phase out = phase;
+    out.instructions = phase.instructions * rng.jitter(inst_rel);
+    out.demand.l2Mpki = phase.demand.l2Mpki * rng.jitter(mem_rel);
+    return out;
+}
+
+} // namespace litmus::workload

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Execution phases: a named resource demand plus an instruction budget.
+ *
+ * Workloads are modelled as phase programs. A phase captures a stretch
+ * of execution with stable behaviour (an import burst, a compute loop,
+ * a streaming pass); the simulator treats each phase's demand as
+ * constant and switches at retirement boundaries.
+ */
+
+#ifndef LITMUS_WORKLOAD_PHASE_H
+#define LITMUS_WORKLOAD_PHASE_H
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace litmus::workload
+{
+
+/** One phase of a phase program. */
+struct Phase
+{
+    /** Diagnostic name, e.g. "import-site" or "body". */
+    std::string name;
+
+    /** Instructions the phase retires. */
+    Instructions instructions = 0;
+
+    /** Resource demand while the phase runs. */
+    sim::ResourceDemand demand;
+
+    /** Sanity checks; fatal() on nonsense. */
+    void validate() const;
+};
+
+/**
+ * Apply per-invocation jitter to a phase: instruction count and memory
+ * intensity wobble a little run to run (inputs differ, allocators
+ * place data differently). Demand jitter is kept small so calibration
+ * tables remain meaningful.
+ *
+ * @param phase    the nominal phase
+ * @param rng      per-task random stream
+ * @param inst_rel relative spread of the instruction count
+ * @param mem_rel  relative spread of l2Mpki
+ */
+Phase jitterPhase(const Phase &phase, Rng &rng, double inst_rel,
+                  double mem_rel);
+
+} // namespace litmus::workload
+
+#endif // LITMUS_WORKLOAD_PHASE_H

@@ -1,0 +1,105 @@
+#include "workload/program.h"
+
+#include "common/logging.h"
+
+namespace litmus::workload
+{
+
+PhaseProgram::PhaseProgram(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    for (const Phase &phase : phases_)
+        phase.validate();
+}
+
+PhaseProgram &
+PhaseProgram::append(Phase phase)
+{
+    phase.validate();
+    phases_.push_back(std::move(phase));
+    return *this;
+}
+
+Instructions
+PhaseProgram::totalInstructions() const
+{
+    Instructions total = 0;
+    for (const Phase &phase : phases_)
+        total += phase.instructions;
+    return total;
+}
+
+PhaseProgram
+PhaseProgram::then(const PhaseProgram &next) const
+{
+    std::vector<Phase> combined = phases_;
+    combined.insert(combined.end(), next.phases_.begin(),
+                    next.phases_.end());
+    return PhaseProgram(std::move(combined));
+}
+
+ProgramTask::ProgramTask(std::string name, PhaseProgram program,
+                         Instructions probe_window)
+    : Task(std::move(name), probe_window), program_(std::move(program))
+{
+    if (program_.empty())
+        fatal("ProgramTask ", this->name(), ": empty program");
+}
+
+const sim::ResourceDemand &
+ProgramTask::demand() const
+{
+    if (finished())
+        panic("ProgramTask::demand after completion");
+    return program_.phases()[index_].demand;
+}
+
+Instructions
+ProgramTask::remainingInPhase() const
+{
+    if (finished())
+        return 0;
+    return program_.phases()[index_].instructions - retiredInPhase_;
+}
+
+void
+ProgramTask::retire(Instructions n)
+{
+    if (finished())
+        panic("ProgramTask::retire after completion");
+    retiredInPhase_ += n;
+    while (index_ < program_.size() &&
+           retiredInPhase_ >= program_.phases()[index_].instructions -
+                                  1e-6) {
+        retiredInPhase_ -= program_.phases()[index_].instructions;
+        if (retiredInPhase_ < 0)
+            retiredInPhase_ = 0;
+        ++index_;
+    }
+}
+
+bool
+ProgramTask::finished() const
+{
+    return index_ >= program_.size();
+}
+
+EndlessTask::EndlessTask(std::string name, sim::ResourceDemand demand)
+    : Task(std::move(name)), demand_(demand)
+{
+    demand_.validate();
+}
+
+Instructions
+EndlessTask::remainingInPhase() const
+{
+    return sim::endlessPhase;
+}
+
+void
+EndlessTask::retire(Instructions)
+{
+    // Endless work: nothing to track.
+}
+
+} // namespace litmus::workload

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Language-runtime startup models (the substrate of the Litmus test).
+ *
+ * Section 6 observes that functions written in the same language have
+ * nearly identical startup phases (Figure 6): Python spends ~19 ms in
+ * interpreter init / imports / compilation, Node.js ~97 ms, Go ~6 ms,
+ * all with bursts of memory reads while loading images and libraries.
+ * These programs reproduce that structure: every function of a given
+ * language begins with the same startup phase program, making the
+ * startup a consistent congestion probe.
+ */
+
+#ifndef LITMUS_WORKLOAD_RUNTIME_STARTUP_H
+#define LITMUS_WORKLOAD_RUNTIME_STARTUP_H
+
+#include <string>
+
+#include "workload/program.h"
+
+namespace litmus::workload
+{
+
+/** Language runtimes used by the Table 1 suite. */
+enum class Language
+{
+    Python,
+    NodeJs,
+    Go,
+};
+
+/** Short suffix used in function names ("py", "nj", "go"). */
+std::string languageSuffix(Language lang);
+
+/** Display name ("Python", "Node.js", "Go"). */
+std::string languageName(Language lang);
+
+/** All modelled languages, in a stable order. */
+const std::vector<Language> &allLanguages();
+
+/**
+ * The startup phase program for a language. Identical for every
+ * function of that language (the property the Litmus test exploits).
+ */
+const PhaseProgram &startupProgram(Language lang);
+
+/**
+ * Litmus-probe window for the language: the instruction count over
+ * which startup slowdown and machine L3 misses are measured. The
+ * paper uses the first 45M instructions of the Python startup
+ * (Section 7.1); Go's startup is shorter, so its window is smaller.
+ */
+Instructions probeWindow(Language lang);
+
+} // namespace litmus::workload
+
+#endif // LITMUS_WORKLOAD_RUNTIME_STARTUP_H

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/arg_parser.h"
+
+namespace litmus
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p("tool", "test tool");
+    p.addPositional("command", "what to do")
+        .addOption("count", "how many", "5")
+        .addOption("name", "a name", "default")
+        .addOption("rate", "a rate", "1.5")
+        .addSwitch("verbose", "talk more");
+    return p;
+}
+
+bool
+parse(ArgParser &p, std::vector<const char *> args)
+{
+    args.insert(args.begin(), "tool");
+    return p.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run"}));
+    EXPECT_EQ(p.get("count"), "5");
+    EXPECT_EQ(p.getInt("count"), 5);
+    EXPECT_DOUBLE_EQ(p.getDouble("rate"), 1.5);
+    EXPECT_FALSE(p.has("verbose"));
+    EXPECT_EQ(p.positional("command"), "run");
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run", "--count", "12", "--name", "abc"}));
+    EXPECT_EQ(p.getInt("count"), 12);
+    EXPECT_EQ(p.get("name"), "abc");
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run", "--count=42", "--rate=2.25"}));
+    EXPECT_EQ(p.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(p.getDouble("rate"), 2.25);
+}
+
+TEST(ArgParser, SwitchDetection)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run", "--verbose"}));
+    EXPECT_TRUE(p.has("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, {"run", "--bogus"}));
+    EXPECT_NE(p.errorText().find("unknown flag"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, {"run", "--count"}));
+    EXPECT_NE(p.errorText().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, SwitchWithValueFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, {"run", "--verbose=yes"}));
+}
+
+TEST(ArgParser, ExtraPositionalFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, {"run", "again"}));
+}
+
+TEST(ArgParser, HelpReturnsFalseWithoutError)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, {"--help"}));
+    EXPECT_TRUE(p.errorText().empty());
+}
+
+TEST(ArgParser, MalformedIntFatal)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run", "--count", "abc"}));
+    EXPECT_EXIT((void)p.getInt("count"), ::testing::ExitedWithCode(1),
+                "integer");
+}
+
+TEST(ArgParser, MissingPositionalFatal)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_EQ(p.positionalCount(), 0u);
+    EXPECT_EXIT((void)p.positional("command"),
+                ::testing::ExitedWithCode(1), "missing");
+}
+
+TEST(ArgParser, UsageMentionsEverything)
+{
+    const auto p = makeParser();
+    const std::string usage = p.usage();
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("<command>"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateDeclarationFatal)
+{
+    ArgParser p("tool", "x");
+    p.addOption("a", "first");
+    EXPECT_EXIT(p.addOption("a", "second"),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+} // namespace
+} // namespace litmus

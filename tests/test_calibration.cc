@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the provider calibration procedure (small sweeps so the
+ * test stays fast).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+
+namespace litmus::pricing
+{
+namespace
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+CalibrationConfig
+smallConfig()
+{
+    CalibrationConfig cfg;
+    cfg.levels = {4, 12, 20};
+    // Two reference functions keep the sweep quick.
+    cfg.referencePool = {&workload::functionByName("thum-py"),
+                         &workload::functionByName("fib-go")};
+    cfg.warmup = 0.02;
+    return cfg;
+}
+
+TEST(Calibration, ValidatesConfig)
+{
+    CalibrationConfig cfg = smallConfig();
+    cfg.levels = {};
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "levels");
+
+    cfg = smallConfig();
+    cfg.levels = {4, 4};
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "increase");
+
+    cfg = smallConfig();
+    cfg.levels = {40};
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "fit");
+
+    cfg = smallConfig();
+    cfg.sharingFunctions = 10;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "sharing");
+}
+
+TEST(Calibration, MeasureSoloBaseline)
+{
+    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const SoloBaseline solo = measureSoloBaseline(
+        machine, workload::functionByName("aes-py"));
+    EXPECT_GT(solo.privCpi, 0.3);
+    EXPECT_LT(solo.privCpi, 2.0);
+    EXPECT_GT(solo.sharedCpi, 0.0);
+    EXPECT_LT(solo.sharedCpi, solo.privCpi);
+    EXPECT_DOUBLE_EQ(solo.totalCpi(), solo.privCpi + solo.sharedCpi);
+}
+
+class CalibrationFixture : public ::testing::Test
+{
+  protected:
+    static const CalibrationResult &result()
+    {
+        static const CalibrationResult r = calibrate(smallConfig());
+        return r;
+    }
+};
+
+TEST_F(CalibrationFixture, BaselinesForAllLanguages)
+{
+    for (Language lang : workload::allLanguages()) {
+        const ProbeReading &base = result().congestion.baseline(lang);
+        EXPECT_TRUE(base.valid());
+        EXPECT_GT(base.privCpi, 0.0);
+        EXPECT_GT(base.sharedCpi, 0.0);
+    }
+}
+
+TEST_F(CalibrationFixture, TablesPopulatedForBothGenerators)
+{
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        EXPECT_TRUE(result().performance.populated(gen));
+        for (Language lang : workload::allLanguages())
+            EXPECT_TRUE(result().congestion.populated(lang, gen));
+    }
+}
+
+TEST_F(CalibrationFixture, SlowdownsExceedOneAndGrow)
+{
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        const auto &shared =
+            result().congestion.sharedSeries(Language::Python, gen);
+        EXPECT_GT(shared.front(), 1.0);
+        EXPECT_GT(shared.back(), shared.front());
+        const auto &perfTotal = result().performance.totalSeries(gen);
+        EXPECT_GE(perfTotal.back(), perfTotal.front());
+    }
+}
+
+TEST_F(CalibrationFixture, MbStressesSharedTimeMoreThanCt)
+{
+    // Figure 5 structure: MB-Gen slows T_shared far more than CT-Gen
+    // at matched levels.
+    const auto &ct = result().congestion.sharedSeries(
+        Language::Python, GeneratorKind::CtGen);
+    const auto &mb = result().congestion.sharedSeries(
+        Language::Python, GeneratorKind::MbGen);
+    ASSERT_EQ(ct.size(), mb.size());
+    EXPECT_GT(mb.back(), ct.back());
+}
+
+TEST_F(CalibrationFixture, MbProducesFarMoreL3Misses)
+{
+    const auto &ct = result().congestion.l3Series(
+        Language::Python, GeneratorKind::CtGen);
+    const auto &mb = result().congestion.l3Series(
+        Language::Python, GeneratorKind::MbGen);
+    EXPECT_GT(mb.back(), 5.0 * ct.back());
+}
+
+TEST_F(CalibrationFixture, PrivateSlowdownsStaySmall)
+{
+    // Figure 5: T_private slowdowns are percent-level, not multiples.
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        for (double v : result().congestion.privSeries(
+                 Language::Python, gen)) {
+            EXPECT_GT(v, 0.98);
+            EXPECT_LT(v, 1.4);
+        }
+    }
+}
+
+TEST_F(CalibrationFixture, ReferenceSoloRecorded)
+{
+    EXPECT_EQ(result().referenceSolo.size(), 2u);
+    EXPECT_TRUE(result().referenceSolo.contains("thum-py"));
+}
+
+} // namespace
+} // namespace litmus::pricing

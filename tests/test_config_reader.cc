@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the key=value configuration reader and machine overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config_reader.h"
+#include "sim/machine_config.h"
+
+namespace litmus
+{
+namespace
+{
+
+TEST(ConfigReader, ParsesBasics)
+{
+    const auto cfg = ConfigReader::fromString(
+        "a = 1\n"
+        "b=hello   # trailing comment\n"
+        "# full comment line\n"
+        "\n"
+        "c = 2.5\n");
+    EXPECT_TRUE(cfg.contains("a"));
+    EXPECT_EQ(cfg.getInt("a", 0), 1);
+    EXPECT_EQ(cfg.get("b"), "hello");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("c", 0), 2.5);
+    EXPECT_EQ(cfg.keys().size(), 3u);
+}
+
+TEST(ConfigReader, FallbacksWhenMissing)
+{
+    const auto cfg = ConfigReader::fromString("x = 1\n");
+    EXPECT_EQ(cfg.getInt("nope", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("nope", 1.25), 1.25);
+    EXPECT_EQ(cfg.getString("nope", "d"), "d");
+    EXPECT_TRUE(cfg.getBool("nope", true));
+}
+
+TEST(ConfigReader, BoolSpellings)
+{
+    const auto cfg = ConfigReader::fromString(
+        "a = true\nb = off\nc = YES\nd = 0\n");
+    EXPECT_TRUE(cfg.getBool("a", false));
+    EXPECT_FALSE(cfg.getBool("b", true));
+    EXPECT_TRUE(cfg.getBool("c", false));
+    EXPECT_FALSE(cfg.getBool("d", true));
+}
+
+TEST(ConfigReader, MalformedLineFatal)
+{
+    EXPECT_EXIT(ConfigReader::fromString("not a pair\n"),
+                ::testing::ExitedWithCode(1), "key=value");
+}
+
+TEST(ConfigReader, MalformedNumberFatal)
+{
+    const auto cfg = ConfigReader::fromString("x = abc\n");
+    EXPECT_EXIT((void)cfg.getInt("x", 0), ::testing::ExitedWithCode(1),
+                "integer");
+}
+
+TEST(ConfigReader, MissingKeyFatal)
+{
+    const ConfigReader cfg;
+    EXPECT_EXIT((void)cfg.get("ghost"), ::testing::ExitedWithCode(1),
+                "missing key");
+}
+
+TEST(ConfigReader, MissingFileFatal)
+{
+    EXPECT_EXIT(ConfigReader::fromFile("/nonexistent/path.conf"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ConfigReader, SetOverrides)
+{
+    ConfigReader cfg;
+    cfg.set("k", "1");
+    cfg.set("k", "2");
+    EXPECT_EQ(cfg.getInt("k", 0), 2);
+    EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(MachineOverrides, AppliesRecognizedKeys)
+{
+    auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = ConfigReader::fromString(
+        "cores = 48\n"
+        "base_ghz = 3.0\n"
+        "l3_capacity_mib = 60\n"
+        "mem_service_rate = 2.4\n"
+        "residency_factor = 0.1\n"
+        "time_slice_ms = 2\n"
+        "memory_capacity_gib = 512\n");
+    applyMachineOverrides(machine, cfg);
+    EXPECT_EQ(machine.cores, 48u);
+    EXPECT_DOUBLE_EQ(machine.baseFrequency, 3.0e9);
+    EXPECT_EQ(machine.l3Capacity, 60_MiB);
+    EXPECT_DOUBLE_EQ(machine.memServiceRate, 2.4);
+    EXPECT_DOUBLE_EQ(machine.residencyFactor, 0.1);
+    EXPECT_DOUBLE_EQ(machine.timeSlice, 2e-3);
+    EXPECT_EQ(machine.memoryCapacity, 512_GiB);
+}
+
+TEST(MachineOverrides, UnknownKeyFatal)
+{
+    auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = ConfigReader::fromString("coresss = 2\n");
+    EXPECT_EXIT(applyMachineOverrides(machine, cfg),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(MachineOverrides, InvalidResultFatal)
+{
+    auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = ConfigReader::fromString("cores = 0\n");
+    EXPECT_EXIT(applyMachineOverrides(machine, cfg),
+                ::testing::ExitedWithCode(1), "cores");
+}
+
+} // namespace
+} // namespace litmus

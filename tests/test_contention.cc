@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the shared-resource contention solver: queue curve,
+ * capacity-pressure miss model, and fixed-point behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/contention.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+MachineConfig
+cfg()
+{
+    return MachineConfig::cascadeLake5218();
+}
+
+ResourceDemand
+computeDemand()
+{
+    ResourceDemand d;
+    d.cpi0 = 0.6;
+    d.l2Mpki = 0.05;
+    d.l3WorkingSet = 256_KiB;
+    d.l3MissBase = 0.05;
+    d.mlp = 2.0;
+    return d;
+}
+
+ResourceDemand
+memoryDemand()
+{
+    ResourceDemand d;
+    d.cpi0 = 0.6;
+    d.l2Mpki = 30.0;
+    d.l3WorkingSet = 8_MiB;
+    d.l3MissBase = 0.8;
+    d.mlp = 8.0;
+    return d;
+}
+
+TEST(QueueFactor, BoundsAndMonotonicity)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    EXPECT_DOUBLE_EQ(solver.queueFactor(0.0, 4.0), 1.0);
+    EXPECT_DOUBLE_EQ(solver.queueFactor(1.0, 4.0), 4.0);
+    EXPECT_DOUBLE_EQ(solver.queueFactor(2.0, 4.0), 4.0); // clamped
+    double prev = 0.0;
+    for (double u = 0.0; u <= 1.0; u += 0.05) {
+        const double qf = solver.queueFactor(u, 4.0);
+        EXPECT_GE(qf, prev);
+        EXPECT_GE(qf, 1.0);
+        EXPECT_LE(qf, 4.0);
+        prev = qf;
+    }
+}
+
+TEST(MissFraction, FullShareGivesBaseline)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto d = memoryDemand();
+    EXPECT_DOUBLE_EQ(
+        solver.missFraction(d, static_cast<double>(d.l3WorkingSet)),
+        d.l3MissBase);
+    // More than the working set changes nothing.
+    EXPECT_DOUBLE_EQ(
+        solver.missFraction(d, 2.0 * static_cast<double>(d.l3WorkingSet)),
+        d.l3MissBase);
+}
+
+TEST(MissFraction, ZeroShareGivesFullMiss)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    EXPECT_DOUBLE_EQ(solver.missFraction(memoryDemand(), 0.0), 1.0);
+}
+
+TEST(MissFraction, MonotoneInDeficit)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto d = memoryDemand();
+    const double ws = static_cast<double>(d.l3WorkingSet);
+    double prev = 1.1;
+    for (double share = 0.0; share <= ws; share += ws / 16) {
+        const double m = solver.missFraction(d, share);
+        EXPECT_LE(m, prev);
+        EXPECT_GE(m, d.l3MissBase);
+        EXPECT_LE(m, 1.0);
+        prev = m;
+    }
+}
+
+TEST(MissFraction, NoTrafficMeansNoMisses)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ResourceDemand d = computeDemand();
+    d.l2Mpki = 0.0;
+    EXPECT_DOUBLE_EQ(solver.missFraction(d, 0.0), 0.0);
+}
+
+TEST(Solve, EmptyInputs)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto result = solver.solve({}, machine.baseFrequency);
+    EXPECT_TRUE(result.threads.empty());
+    EXPECT_DOUBLE_EQ(result.shared.l3Utilization, 0.0);
+    EXPECT_DOUBLE_EQ(result.shared.l3LatencyNs, machine.l3HitLatencyNs);
+}
+
+TEST(Solve, SingleComputeThreadNearBaseline)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto result = solver.solve({{computeDemand(), {}}},
+                                     machine.baseFrequency);
+    ASSERT_EQ(result.threads.size(), 1u);
+    EXPECT_LT(result.shared.l3Utilization, 0.01);
+    EXPECT_LT(result.shared.memUtilization, 0.01);
+    EXPECT_NEAR(result.threads[0].privateCpi, 0.6, 0.01);
+    EXPECT_LT(result.threads[0].stallPerInstr, 0.01);
+}
+
+TEST(Solve, UtilizationGrowsWithThreads)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    double prevU = 0.0;
+    for (unsigned n : {1u, 4u, 8u, 16u, 32u}) {
+        std::vector<SolverInput> inputs(n,
+                                        SolverInput{memoryDemand(), {}});
+        const auto result = solver.solve(inputs, machine.baseFrequency);
+        EXPECT_GE(result.shared.memUtilization, prevU);
+        prevU = result.shared.memUtilization;
+    }
+    EXPECT_GT(prevU, 0.3);
+}
+
+TEST(Solve, LatenciesGrowWithLoad)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto light = solver.solve({{memoryDemand(), {}}},
+                                    machine.baseFrequency);
+    std::vector<SolverInput> many(24, SolverInput{memoryDemand(), {}});
+    const auto heavy = solver.solve(many, machine.baseFrequency);
+    EXPECT_GT(heavy.shared.memLatencyNs, light.shared.memLatencyNs);
+    EXPECT_GE(heavy.shared.l3LatencyNs, light.shared.l3LatencyNs);
+    EXPECT_GT(heavy.threads[0].stallPerInstr,
+              light.threads[0].stallPerInstr);
+}
+
+TEST(Solve, CapacityPressureRaisesMissFraction)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto alone = solver.solve({{memoryDemand(), {}}},
+                                    machine.baseFrequency);
+    std::vector<SolverInput> crowd(20, SolverInput{memoryDemand(), {}});
+    const auto crowded = solver.solve(crowd, machine.baseFrequency);
+    EXPECT_GT(crowded.threads[0].l3MissFraction,
+              alone.threads[0].l3MissFraction);
+}
+
+TEST(Solve, WarmthAndSmtInflatePrivateCpi)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ThreadEnvironment env;
+    env.warmthMult = 1.05;
+    env.smtMult = 1.95;
+    const auto result = solver.solve({{computeDemand(), env}},
+                                     machine.baseFrequency);
+    EXPECT_NEAR(result.threads[0].privateCpi, 0.6 * 1.05 * 1.95, 0.02);
+}
+
+TEST(Solve, ComputeThreadImmuneToCrowd)
+{
+    // The float-py property: a compute-bound thread's private CPI
+    // barely moves even in a heavily congested machine.
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    std::vector<SolverInput> inputs(30, SolverInput{memoryDemand(), {}});
+    inputs.push_back({computeDemand(), {}});
+    const auto result = solver.solve(inputs, machine.baseFrequency);
+    const ThreadPerf &compute = result.threads.back();
+    EXPECT_LT(compute.privateCpi, 0.6 * 1.01);
+    EXPECT_LT(compute.stallPerInstr / compute.cpi(), 0.05);
+}
+
+TEST(Solve, FrequencyScalesStallCycles)
+{
+    // Same physical latency costs more cycles at a higher clock.
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const auto slow = solver.solve({{memoryDemand(), {}}}, 2.0e9);
+    const auto fast = solver.solve({{memoryDemand(), {}}}, 4.0e9);
+    EXPECT_GT(fast.threads[0].stallPerInstr,
+              slow.threads[0].stallPerInstr * 1.5);
+}
+
+TEST(Solve, CtGenSignature)
+{
+    // CT-Gen-like load: high L3-path utilization, low DRAM pressure.
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ResourceDemand ct;
+    ct.cpi0 = 0.55;
+    ct.l2Mpki = 60.0;
+    ct.l3WorkingSet = 640_KiB;
+    ct.l3MissBase = 0.02;
+    ct.mlp = 6.0;
+    std::vector<SolverInput> inputs(24, SolverInput{ct, {}});
+    const auto result = solver.solve(inputs, machine.baseFrequency);
+    EXPECT_GT(result.shared.l3Utilization, 0.4);
+    EXPECT_LT(result.shared.memUtilization, 0.25);
+}
+
+TEST(Solve, MbGenSignature)
+{
+    // MB-Gen-like load: DRAM saturated.
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ResourceDemand mb;
+    mb.cpi0 = 0.55;
+    mb.l2Mpki = 34.0;
+    mb.l3WorkingSet = 8_MiB;
+    mb.l3MissBase = 0.92;
+    mb.mlp = 8.0;
+    std::vector<SolverInput> inputs(24, SolverInput{mb, {}});
+    const auto result = solver.solve(inputs, machine.baseFrequency);
+    // Bounded-latency queuing self-throttles MB-Gen (its defining
+    // Figure 1 behaviour), so utilization equilibrates below 1.
+    EXPECT_GT(result.shared.memUtilization, 0.45);
+}
+
+TEST(ThreadPerf, CpiDecomposition)
+{
+    ThreadPerf perf;
+    perf.privateCpi = 0.7;
+    perf.stallPerInstr = 0.3;
+    EXPECT_DOUBLE_EQ(perf.cpi(), 1.0);
+    EXPECT_DOUBLE_EQ(perf.ipc(), 1.0);
+}
+
+/** Property sweep: stall per instruction is monotone in thread count. */
+class StallMonotone : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StallMonotone, MoreThreadsMoreStall)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    const unsigned n = GetParam();
+    std::vector<SolverInput> small(n, SolverInput{memoryDemand(), {}});
+    std::vector<SolverInput> large(n + 4,
+                                   SolverInput{memoryDemand(), {}});
+    const auto a = solver.solve(small, machine.baseFrequency);
+    const auto b = solver.solve(large, machine.baseFrequency);
+    EXPECT_LE(a.threads[0].stallPerInstr,
+              b.threads[0].stallPerInstr * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, StallMonotone,
+                         ::testing::Values(1u, 2u, 4u, 8u, 12u, 16u, 20u,
+                                           24u));
+
+} // namespace
+} // namespace litmus::sim

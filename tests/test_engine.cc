@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the quantum-stepped engine: accounting identities, probe
+ * capture, completion callbacks, churn, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/machine.h"
+#include "workload/program.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+using workload::Phase;
+using workload::PhaseProgram;
+using workload::ProgramTask;
+
+MachineConfig
+smallMachine(unsigned cores = 4)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.cores = cores;
+    return cfg;
+}
+
+Phase
+simplePhase(double minstr, double cpi0 = 1.0, double mpki = 5.0)
+{
+    Phase p;
+    p.name = "p";
+    p.instructions = minstr * 1e6;
+    p.demand.cpi0 = cpi0;
+    p.demand.l2Mpki = mpki;
+    p.demand.l3WorkingSet = 1_MiB;
+    p.demand.l3MissBase = 0.2;
+    p.demand.mlp = 4.0;
+    return p;
+}
+
+std::unique_ptr<ProgramTask>
+simpleTask(double minstr = 50, Instructions probe = Task::noProbe)
+{
+    return std::make_unique<ProgramTask>(
+        "t", PhaseProgram({simplePhase(minstr)}), probe);
+}
+
+TEST(Engine, RunsTaskToCompletion)
+{
+    Engine engine(smallMachine());
+    bool done = false;
+    std::string name;
+    engine.onCompletion([&](Task &t) {
+        done = true;
+        name = t.name();
+    });
+    Task &task = engine.add(simpleTask());
+    engine.runUntilComplete(task);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(name, "t");
+    EXPECT_EQ(engine.taskCount(), 0u);
+}
+
+TEST(Engine, CounterIdentities)
+{
+    Engine engine(smallMachine());
+    TaskCounters counters;
+    engine.onCompletion([&](Task &t) { counters = t.counters(); });
+    Task &task = engine.add(simpleTask(50));
+    engine.runUntilComplete(task);
+
+    EXPECT_NEAR(counters.instructions, 50e6, 1e3);
+    // T_private + T_shared == cycles.
+    EXPECT_NEAR(counters.privateCycles() + counters.stallSharedCycles,
+                counters.cycles, 1e-3);
+    // L2 misses match the demand: 5 MPKI over 50M instructions.
+    EXPECT_NEAR(counters.l2Misses, 250e3, 1e3);
+    // Solo: L3 misses = base fraction of L2 misses.
+    EXPECT_NEAR(counters.l3Misses, 0.2 * counters.l2Misses,
+                counters.l2Misses * 0.01);
+}
+
+TEST(Engine, SoloCpiMatchesModel)
+{
+    // cpi = cpi0 + mpki/1000 * avg_lat_cycles / mlp at base frequency.
+    const auto cfg = smallMachine();
+    const RunResult run = runSolo(cfg, [] { return simpleTask(50); });
+    const double cpi = run.counters.cycles / run.counters.instructions;
+    const double ghz = cfg.baseFrequency * 1e-9;
+    const double avgLat =
+        (0.8 * cfg.l3HitLatencyNs + 0.2 * cfg.memLatencyNs) * ghz;
+    const double expected = 1.0 + 0.005 * avgLat / 4.0;
+    EXPECT_NEAR(cpi, expected, expected * 0.02);
+}
+
+TEST(Engine, WallTimeMatchesCycles)
+{
+    const auto cfg = smallMachine();
+    const RunResult run = runSolo(cfg, [] { return simpleTask(50); });
+    // Alone on a fixed-frequency machine, wall time ~= cycles / freq
+    // (quantum rounding adds at most one quantum).
+    EXPECT_NEAR(run.wallTime, run.counters.cycles / cfg.baseFrequency,
+                100e-6);
+}
+
+TEST(Engine, ProbeCapturesAtWindow)
+{
+    Engine engine(smallMachine());
+    ProbeCapture probe;
+    engine.onCompletion([&](Task &t) { probe = t.probe(); });
+    Task &task = engine.add(simpleTask(50, 10e6));
+    engine.runUntilComplete(task);
+
+    ASSERT_TRUE(probe.started);
+    ASSERT_TRUE(probe.complete);
+    const TaskCounters window = probe.taskAtEnd.since(probe.taskAtStart);
+    EXPECT_GE(window.instructions, 10e6);
+    // Window closes promptly (within a quantum's worth of work).
+    EXPECT_LT(window.instructions, 10e6 + 1e6);
+    EXPECT_GT(probe.machineAtEnd.time, probe.machineAtStart.time);
+}
+
+TEST(Engine, NoProbeWhenDisabled)
+{
+    Engine engine(smallMachine());
+    ProbeCapture probe;
+    engine.onCompletion([&](Task &t) { probe = t.probe(); });
+    Task &task = engine.add(simpleTask(20));
+    engine.runUntilComplete(task);
+    EXPECT_FALSE(probe.started);
+    EXPECT_FALSE(probe.complete);
+}
+
+TEST(Engine, MultiPhaseTaskRetiresAllPhases)
+{
+    PhaseProgram program({simplePhase(5, 0.5, 0.0),
+                          simplePhase(7, 2.0, 20.0),
+                          simplePhase(3, 1.0, 1.0)});
+    Engine engine(smallMachine());
+    TaskCounters counters;
+    engine.onCompletion([&](Task &t) { counters = t.counters(); });
+    Task &task = engine.add(
+        std::make_unique<ProgramTask>("multi", program));
+    engine.runUntilComplete(task);
+    EXPECT_NEAR(counters.instructions, 15e6, 1e3);
+}
+
+TEST(Engine, CompletionChurnKeepsPopulation)
+{
+    Engine engine(smallMachine());
+    int launched = 0;
+    engine.onCompletion([&](Task &) {
+        if (launched < 3) {
+            ++launched;
+            engine.add(simpleTask(1));
+        }
+    });
+    engine.add(simpleTask(1));
+    engine.run(0.2);
+    EXPECT_EQ(launched, 3);
+    EXPECT_EQ(engine.taskCount(), 0u);
+}
+
+TEST(Engine, MultipleListenersAllCalled)
+{
+    Engine engine(smallMachine());
+    int a = 0, b = 0;
+    engine.onCompletion([&](Task &) { ++a; });
+    engine.onCompletion([&](Task &) { ++b; });
+    Task &task = engine.add(simpleTask(1));
+    engine.runUntilComplete(task);
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(Engine, QuantumObserverSeesSharedState)
+{
+    Engine engine(smallMachine());
+    int calls = 0;
+    double lastLat = 0;
+    engine.onQuantum([&](Seconds, const SharedState &s) {
+        ++calls;
+        lastLat = s.l3LatencyNs;
+    });
+    engine.run(0.001);
+    EXPECT_EQ(calls, 20); // 1 ms / 50 us
+    EXPECT_GT(lastLat, 0.0);
+}
+
+TEST(Engine, TimeAdvances)
+{
+    Engine engine(smallMachine());
+    EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+    engine.run(0.01);
+    EXPECT_NEAR(engine.now(), 0.01, 1e-9);
+    EXPECT_NEAR(engine.machineCounters().time, 0.01, 1e-9);
+}
+
+TEST(Engine, RunUntilCompleteCapFatal)
+{
+    Engine engine(smallMachine());
+    Task &task = engine.add(std::make_unique<workload::EndlessTask>(
+        "endless", ResourceDemand{}));
+    EXPECT_EXIT(engine.runUntilComplete(task, 0.01),
+                ::testing::ExitedWithCode(1), "did not finish");
+}
+
+TEST(Engine, AliveTracksOwnership)
+{
+    Engine engine(smallMachine());
+    Task &task = engine.add(simpleTask(1));
+    EXPECT_TRUE(engine.alive(task));
+    EXPECT_TRUE(engine.aliveId(task.id()));
+    const auto id = task.id();
+    engine.runUntilCompleteId(id);
+    EXPECT_FALSE(engine.aliveId(id));
+}
+
+TEST(Engine, LiveTasksView)
+{
+    Engine engine(smallMachine());
+    engine.add(simpleTask(100));
+    engine.add(simpleTask(100));
+    EXPECT_EQ(engine.liveTasks().size(), 2u);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto runOnce = [] {
+        Engine engine(smallMachine());
+        TaskCounters counters;
+        engine.onCompletion([&](Task &t) { counters = t.counters(); });
+        Task &task = engine.add(simpleTask(30));
+        engine.add(simpleTask(100)); // co-runner
+        engine.runUntilComplete(task);
+        return counters;
+    };
+    const TaskCounters a = runOnce();
+    const TaskCounters b = runOnce();
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.stallSharedCycles, b.stallSharedCycles);
+    EXPECT_DOUBLE_EQ(a.l3Misses, b.l3Misses);
+}
+
+TEST(Engine, CoRunnerSlowsSubjectDown)
+{
+    const auto cfg = smallMachine();
+    const RunResult solo = runSolo(cfg, [] { return simpleTask(30); });
+
+    Engine engine(cfg);
+    TaskCounters counters;
+    engine.onCompletion([&](Task &t) {
+        if (t.name() == "t")
+            counters = t.counters();
+    });
+    // Memory-hungry co-runners on the other cores.
+    for (int i = 0; i < 3; ++i) {
+        ResourceDemand d;
+        d.cpi0 = 0.6;
+        d.l2Mpki = 30.0;
+        d.l3WorkingSet = 16_MiB;
+        d.l3MissBase = 0.8;
+        d.mlp = 8.0;
+        engine.add(
+            std::make_unique<workload::EndlessTask>("hog", d));
+    }
+    Task &task = engine.add(simpleTask(30));
+    engine.runUntilComplete(task);
+
+    EXPECT_GT(counters.cycles, solo.counters.cycles * 1.01);
+    EXPECT_GT(counters.stallSharedCycles,
+              solo.counters.stallSharedCycles * 1.2);
+}
+
+TEST(Engine, RejectsNullTask)
+{
+    Engine engine(smallMachine());
+    EXPECT_EXIT(engine.add(nullptr), ::testing::ExitedWithCode(1),
+                "null");
+}
+
+TEST(Engine, SmtSiblingInflatesCpi)
+{
+    auto cfg = smallMachine(2);
+    cfg.smtWays = 2;
+    // Solo on the machine (no sibling).
+    const RunResult solo = runSolo(cfg, [] { return simpleTask(20); });
+
+    Engine engine(cfg);
+    TaskCounters counters;
+    engine.onCompletion([&](Task &t) {
+        if (t.name() == "t")
+            counters = t.counters();
+    });
+    auto sibling = std::make_unique<workload::EndlessTask>(
+        "sib", ResourceDemand{});
+    sibling->setAffinity({1}); // core 0, way 1
+    engine.add(std::move(sibling));
+    auto subject = simpleTask(20);
+    subject->setAffinity({0}); // core 0, way 0
+    Task &task = engine.add(std::move(subject));
+    engine.runUntilComplete(task);
+
+    const double soloCpi =
+        solo.counters.cycles / solo.counters.instructions;
+    const double smtCpi = counters.cycles / counters.instructions;
+    EXPECT_GT(smtCpi, soloCpi * 1.5);
+}
+
+} // namespace
+} // namespace litmus::sim

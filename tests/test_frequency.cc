@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the DVFS governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/frequency_governor.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+TEST(Fixed, AlwaysBaseFrequency)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    const FrequencyGovernor gov(cfg, FrequencyPolicy::Fixed);
+    for (unsigned active : {0u, 1u, 8u, 16u, 32u})
+        EXPECT_DOUBLE_EQ(gov.frequency(active), cfg.baseFrequency);
+}
+
+TEST(Turbo, SingleCorePeak)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
+    EXPECT_DOUBLE_EQ(gov.frequency(1), cfg.turboFrequency);
+    EXPECT_DOUBLE_EQ(gov.frequency(0), cfg.turboFrequency);
+}
+
+TEST(Turbo, AllCoreBase)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
+    EXPECT_DOUBLE_EQ(gov.frequency(cfg.cores), cfg.baseFrequency);
+    EXPECT_DOUBLE_EQ(gov.frequency(cfg.cores / 2), cfg.baseFrequency);
+}
+
+TEST(Turbo, MonotoneNonIncreasing)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
+    double prev = gov.frequency(1);
+    for (unsigned active = 2; active <= cfg.cores; ++active) {
+        const double f = gov.frequency(active);
+        EXPECT_LE(f, prev);
+        EXPECT_GE(f, cfg.baseFrequency);
+        EXPECT_LE(f, cfg.turboFrequency);
+        prev = f;
+    }
+}
+
+TEST(Turbo, PolicyAccessor)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
+    EXPECT_EQ(gov.policy(), FrequencyPolicy::Turbo);
+}
+
+} // namespace
+} // namespace litmus::sim

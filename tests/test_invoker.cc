@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the invoker's population maintenance and placement modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/invoker.h"
+#include "workload/suite.h"
+
+namespace litmus::workload
+{
+namespace
+{
+
+sim::MachineConfig
+machine()
+{
+    return sim::MachineConfig::cascadeLake5218();
+}
+
+TEST(Invoker, LaunchesInitialPopulation)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.targetCount = 6;
+    cfg.cpuPool = {1, 2, 3, 4, 5, 6};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    EXPECT_EQ(invoker.liveCount(), 6u);
+    EXPECT_EQ(engine.taskCount(), 6u);
+    EXPECT_EQ(invoker.launchedCount(), 6u);
+}
+
+TEST(Invoker, OnePerCorePinsDistinctCpus)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.placement = InvokerConfig::Placement::OnePerCore;
+    cfg.targetCount = 4;
+    cfg.cpuPool = {2, 3, 4, 5};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    for (unsigned cpu : {2u, 3u, 4u, 5u})
+        EXPECT_NE(engine.scheduler().runningOn(cpu), nullptr);
+    EXPECT_EQ(engine.scheduler().runningOn(0), nullptr);
+}
+
+TEST(Invoker, PooledSharesCpus)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.placement = InvokerConfig::Placement::Pooled;
+    cfg.targetCount = 10;
+    cfg.cpuPool = {0, 1};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    EXPECT_EQ(engine.scheduler().queueLength(0) +
+                  engine.scheduler().queueLength(1),
+              10u);
+}
+
+TEST(Invoker, MaintainsPopulationUnderChurn)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.targetCount = 8;
+    cfg.cpuPool = {0, 1, 2, 3, 4, 5, 6, 7};
+    cfg.seed = 3;
+    Invoker invoker(engine, cfg);
+    engine.onCompletion(
+        [&](sim::Task &task) { invoker.handleCompletion(task); });
+    invoker.start();
+    engine.run(0.5);
+    EXPECT_EQ(invoker.liveCount(), 8u);
+    EXPECT_EQ(engine.taskCount(), 8u);
+    // Functions are ~100 ms: after 0.5 s several finished and were
+    // replaced.
+    EXPECT_GT(invoker.launchedCount(), 12u);
+}
+
+TEST(Invoker, OwnershipTracking)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.targetCount = 2;
+    cfg.cpuPool = {0, 1};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    auto tasks = engine.liveTasks();
+    ASSERT_EQ(tasks.size(), 2u);
+    EXPECT_TRUE(invoker.owns(*tasks[0]));
+
+    // A foreign task is not owned and not respawned.
+    sim::ResourceDemand d;
+    auto foreign = std::make_unique<EndlessTask>("foreign", d);
+    sim::Task &handle = engine.add(std::move(foreign));
+    EXPECT_FALSE(invoker.owns(handle));
+    EXPECT_FALSE(invoker.handleCompletion(handle));
+}
+
+TEST(Invoker, ReplacementInheritsFreedCore)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.placement = InvokerConfig::Placement::OnePerCore;
+    cfg.targetCount = 3;
+    cfg.cpuPool = {4, 5, 6};
+    cfg.seed = 11;
+    Invoker invoker(engine, cfg);
+    engine.onCompletion(
+        [&](sim::Task &task) { invoker.handleCompletion(task); });
+    invoker.start();
+    engine.run(0.6);
+    // Population still pinned one per core on exactly the pool CPUs.
+    EXPECT_EQ(invoker.liveCount(), 3u);
+    for (unsigned cpu : {4u, 5u, 6u})
+        EXPECT_EQ(engine.scheduler().queueLength(cpu), 1u);
+}
+
+TEST(Invoker, ValidatesConfiguration)
+{
+    sim::Engine engine(machine());
+    InvokerConfig noCpus;
+    noCpus.cpuPool.clear();
+    EXPECT_EXIT(Invoker(engine, noCpus), ::testing::ExitedWithCode(1),
+                "cpuPool");
+
+    InvokerConfig tooMany;
+    tooMany.placement = InvokerConfig::Placement::OnePerCore;
+    tooMany.targetCount = 5;
+    tooMany.cpuPool = {0, 1};
+    EXPECT_EXIT(Invoker(engine, tooMany), ::testing::ExitedWithCode(1),
+                "OnePerCore");
+}
+
+TEST(Invoker, StartTwiceFatal)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.targetCount = 1;
+    cfg.cpuPool = {0};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    EXPECT_EXIT(invoker.start(), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(Invoker, CustomFunctionPool)
+{
+    sim::Engine engine(machine());
+    InvokerConfig cfg;
+    cfg.targetCount = 4;
+    cfg.cpuPool = {0, 1, 2, 3};
+    cfg.functionPool = {&functionByName("float-py")};
+    Invoker invoker(engine, cfg);
+    invoker.start();
+    for (sim::Task *task : engine.liveTasks())
+        EXPECT_EQ(task->name(), "float-py");
+}
+
+TEST(Invoker, DeterministicSelectionPerSeed)
+{
+    auto namesFor = [](std::uint64_t seed) {
+        sim::Engine engine(machine());
+        InvokerConfig cfg;
+        cfg.targetCount = 6;
+        cfg.cpuPool = {0, 1, 2, 3, 4, 5};
+        cfg.seed = seed;
+        Invoker invoker(engine, cfg);
+        invoker.start();
+        std::vector<std::string> names;
+        for (sim::Task *task : engine.liveTasks())
+            names.push_back(task->name());
+        return names;
+    };
+    EXPECT_EQ(namesFor(7), namesFor(7));
+    EXPECT_NE(namesFor(7), namesFor(8));
+}
+
+} // namespace
+} // namespace litmus::workload

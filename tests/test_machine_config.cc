@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the machine presets and their validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_config.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+TEST(MachineConfig, CascadeLakePreset)
+{
+    const auto cfg = MachineConfig::cascadeLake5218();
+    EXPECT_EQ(cfg.cores, 32u);
+    EXPECT_EQ(cfg.smtWays, 1u);
+    EXPECT_EQ(cfg.hwThreads(), 32u);
+    EXPECT_DOUBLE_EQ(cfg.baseFrequency, 2.8e9);
+    EXPECT_EQ(cfg.l3Capacity, 44_MiB);
+    EXPECT_EQ(cfg.memoryCapacity, 384_GiB);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(MachineConfig, IceLakePreset)
+{
+    const auto cfg = MachineConfig::iceLake4314();
+    EXPECT_EQ(cfg.cores, 16u);
+    EXPECT_DOUBLE_EQ(cfg.baseFrequency, 2.4e9);
+    EXPECT_EQ(cfg.l3Capacity, 24_MiB);
+    EXPECT_EQ(cfg.memoryCapacity, 128_GiB);
+}
+
+TEST(MachineConfig, PresetsDiffer)
+{
+    const auto cl = MachineConfig::cascadeLake5218();
+    const auto il = MachineConfig::iceLake4314();
+    EXPECT_NE(cl.name, il.name);
+    EXPECT_GT(cl.l3ServiceRate, il.l3ServiceRate);
+    EXPECT_GT(cl.memServiceRate, il.memServiceRate);
+}
+
+TEST(MachineConfig, SmtDoublesHwThreads)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.smtWays = 2;
+    EXPECT_EQ(cfg.hwThreads(), 64u);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(MachineConfig, RejectsZeroCores)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.cores = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "cores");
+}
+
+TEST(MachineConfig, RejectsBadSmt)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.smtWays = 3;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "smtWays");
+}
+
+TEST(MachineConfig, RejectsInvertedLatencies)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.memLatencyNs = cfg.l3HitLatencyNs / 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "latencies");
+}
+
+TEST(MachineConfig, RejectsBadTurbo)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.turboFrequency = cfg.baseFrequency / 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "frequency");
+}
+
+TEST(MachineConfig, RejectsBadQueueModel)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.l3QueueMax = 0.5;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "queue");
+}
+
+TEST(MachineConfig, RejectsNegativeWarmth)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.warmthMaxPenalty = -0.1;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "warmth");
+}
+
+TEST(MachineConfig, RejectsZeroTimeSlice)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.timeSlice = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "timeSlice");
+}
+
+} // namespace
+} // namespace litmus::sim

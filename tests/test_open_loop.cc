@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the open-loop (Poisson arrival) workload driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/open_loop.h"
+#include "workload/suite.h"
+
+namespace litmus::workload
+{
+namespace
+{
+
+sim::MachineConfig
+machine()
+{
+    return sim::MachineConfig::cascadeLake5218();
+}
+
+OpenLoopConfig
+baseConfig(double rate = 200.0)
+{
+    OpenLoopConfig cfg;
+    cfg.arrivalsPerSecond = rate;
+    for (unsigned cpu = 0; cpu < 16; ++cpu)
+        cfg.cpuPool.push_back(cpu);
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(OpenLoop, ValidatesConfig)
+{
+    sim::Engine engine(machine());
+    OpenLoopConfig bad = baseConfig();
+    bad.arrivalsPerSecond = 0;
+    EXPECT_EXIT(OpenLoopInvoker(engine, bad),
+                ::testing::ExitedWithCode(1), "rate");
+    bad = baseConfig();
+    bad.cpuPool.clear();
+    EXPECT_EXIT(OpenLoopInvoker(engine, bad),
+                ::testing::ExitedWithCode(1), "cpuPool");
+}
+
+TEST(OpenLoop, ArrivalCountTracksRate)
+{
+    sim::Engine engine(machine());
+    OpenLoopInvoker driver(engine, baseConfig(400.0));
+    engine.onCompletion(
+        [&](sim::Task &task) { driver.handleCompletion(task); });
+    driver.start();
+    engine.run(0.5); // expect ~200 arrivals
+    EXPECT_GT(driver.arrivals(), 140u);
+    EXPECT_LT(driver.arrivals(), 280u);
+    EXPECT_EQ(driver.launched(), driver.arrivals());
+}
+
+TEST(OpenLoop, StartTwiceFatal)
+{
+    sim::Engine engine(machine());
+    OpenLoopInvoker driver(engine, baseConfig());
+    driver.start();
+    EXPECT_EXIT(driver.start(), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(OpenLoop, ConcurrencyCapRejects)
+{
+    sim::Engine engine(machine());
+    OpenLoopConfig cfg = baseConfig(2000.0);
+    cfg.maxConcurrent = 4;
+    OpenLoopInvoker driver(engine, cfg);
+    engine.onCompletion(
+        [&](sim::Task &task) { driver.handleCompletion(task); });
+    driver.start();
+    engine.run(0.3);
+    EXPECT_LE(driver.liveCount(), 4u);
+    EXPECT_GT(driver.rejectedConcurrency(), 0u);
+}
+
+TEST(OpenLoop, MemoryAdmissionRejects)
+{
+    auto cfg = machine();
+    cfg.memoryCapacity = 2_GiB;
+    sim::Engine engine(cfg);
+    OpenLoopConfig ocfg = baseConfig(2000.0);
+    ocfg.functionPool = {&functionByName("recogn-py")}; // 1 GiB each
+    OpenLoopInvoker driver(engine, ocfg);
+    engine.onCompletion(
+        [&](sim::Task &task) { driver.handleCompletion(task); });
+    driver.start();
+    engine.run(0.2);
+    EXPECT_LE(driver.committedMemory(), cfg.memoryCapacity);
+    EXPECT_GT(driver.rejectedMemory(), 0u);
+}
+
+TEST(OpenLoop, CompletionsReleaseMemory)
+{
+    sim::Engine engine(machine());
+    OpenLoopInvoker driver(engine, baseConfig(50.0));
+    engine.onCompletion(
+        [&](sim::Task &task) { driver.handleCompletion(task); });
+    driver.start();
+    engine.run(1.2);
+    // Arrivals have completed by now (functions are ~100-500 ms);
+    // committed memory must match the currently live set.
+    EXPECT_GT(driver.arrivals(), 20u);
+    EXPECT_LT(driver.liveCount(), driver.launched());
+    if (driver.liveCount() == 0) {
+        EXPECT_EQ(driver.committedMemory(), 0u);
+    }
+}
+
+TEST(OpenLoop, BurstinessCreatesLoadSwings)
+{
+    // The point of the open loop: concurrency fluctuates.
+    sim::Engine engine(machine());
+    OpenLoopInvoker driver(engine, baseConfig(150.0));
+    engine.onCompletion(
+        [&](sim::Task &task) { driver.handleCompletion(task); });
+    driver.start();
+    unsigned minLive = 1000, maxLive = 0;
+    for (int i = 0; i < 40; ++i) {
+        engine.run(0.025);
+        minLive = std::min(minLive, driver.liveCount());
+        maxLive = std::max(maxLive, driver.liveCount());
+    }
+    EXPECT_GT(maxLive, minLive + 3);
+}
+
+TEST(OpenLoop, DeterministicPerSeed)
+{
+    auto runOnce = [] {
+        sim::Engine engine(machine());
+        OpenLoopInvoker driver(engine, baseConfig(300.0));
+        engine.onCompletion(
+            [&](sim::Task &task) { driver.handleCompletion(task); });
+        driver.start();
+        engine.run(0.3);
+        return driver.arrivals();
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+} // namespace
+} // namespace litmus::workload

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for PMU counter blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pmu.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+TEST(TaskCounters, PrivateCyclesIdentity)
+{
+    TaskCounters c;
+    c.cycles = 100;
+    c.stallSharedCycles = 30;
+    EXPECT_DOUBLE_EQ(c.privateCycles(), 70.0);
+}
+
+TEST(TaskCounters, Add)
+{
+    TaskCounters a, b;
+    a.instructions = 10;
+    a.cycles = 20;
+    a.l2Misses = 2;
+    b.instructions = 5;
+    b.cycles = 7;
+    b.l3Misses = 1;
+    b.contextSwitches = 3;
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.instructions, 15.0);
+    EXPECT_DOUBLE_EQ(a.cycles, 27.0);
+    EXPECT_DOUBLE_EQ(a.l2Misses, 2.0);
+    EXPECT_DOUBLE_EQ(a.l3Misses, 1.0);
+    EXPECT_EQ(a.contextSwitches, 3u);
+}
+
+TEST(TaskCounters, Since)
+{
+    TaskCounters early, late;
+    early.instructions = 100;
+    early.cycles = 150;
+    early.stallSharedCycles = 10;
+    late.instructions = 300;
+    late.cycles = 500;
+    late.stallSharedCycles = 60;
+    late.contextSwitches = 2;
+    const TaskCounters d = late.since(early);
+    EXPECT_DOUBLE_EQ(d.instructions, 200.0);
+    EXPECT_DOUBLE_EQ(d.cycles, 350.0);
+    EXPECT_DOUBLE_EQ(d.stallSharedCycles, 50.0);
+    EXPECT_EQ(d.contextSwitches, 2u);
+}
+
+TEST(TaskCounters, SinceReversedPanics)
+{
+    TaskCounters early, late;
+    late.instructions = 10;
+    late.cycles = 10;
+    EXPECT_DEATH((void)early.since(late), "newer");
+}
+
+TEST(MachineCounters, Since)
+{
+    MachineCounters a, b;
+    a.l3Misses = 100;
+    a.l3Accesses = 200;
+    a.time = 1.0;
+    b.l3Misses = 400;
+    b.l3Accesses = 900;
+    b.time = 2.0;
+    const MachineCounters d = b.since(a);
+    EXPECT_DOUBLE_EQ(d.l3Misses, 300.0);
+    EXPECT_DOUBLE_EQ(d.l3Accesses, 700.0);
+    EXPECT_DOUBLE_EQ(d.time, 1.0);
+}
+
+TEST(MachineCounters, MissRatePerUs)
+{
+    MachineCounters c;
+    c.l3Misses = 500.0;
+    c.time = 1e-3; // 1 ms = 1000 us
+    EXPECT_DOUBLE_EQ(c.l3MissRatePerUs(), 0.5);
+}
+
+TEST(MachineCounters, MissRateZeroTime)
+{
+    MachineCounters c;
+    c.l3Misses = 500.0;
+    EXPECT_DOUBLE_EQ(c.l3MissRatePerUs(), 0.0);
+}
+
+} // namespace
+} // namespace litmus::sim

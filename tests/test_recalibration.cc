@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the recalibration advisor on a synthetic model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recalibration.h"
+
+namespace litmus::pricing
+{
+namespace
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+/** Same synthetic tables as the discount-model tests. */
+DiscountModel
+makeModel()
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+    for (Language lang : workload::allLanguages()) {
+        ProbeReading base;
+        base.privCpi = 0.7;
+        base.sharedCpi = 0.2;
+        base.instructions = 45e6;
+        base.machineL3MissPerUs = 1.0;
+        congestion.setBaseline(lang, base);
+    }
+    for (unsigned level : {2u, 4u, 6u, 8u}) {
+        const double x = 1.0 + 0.05 * level; // totals up to 1.4
+        for (Language lang : workload::allLanguages()) {
+            CongestionEntry e;
+            e.privSlowdown = 1.0 + 0.005 * level;
+            e.sharedSlowdown = x;
+            e.totalSlowdown = x;
+            e.l3MissPerUs = 10.0 * x;
+            congestion.add(lang, GeneratorKind::CtGen, level, e);
+            e.l3MissPerUs = 1000.0 * x;
+            congestion.add(lang, GeneratorKind::MbGen, level, e);
+        }
+        PerformanceEntry p;
+        p.privSlowdown = 1.0 + 0.005 * level;
+        p.sharedSlowdown = x;
+        p.totalSlowdown = x;
+        performance.add(GeneratorKind::CtGen, level, p);
+        performance.add(GeneratorKind::MbGen, level, p);
+    }
+    return DiscountModel(congestion, performance);
+}
+
+ProbeReading
+reading(double total_slowdown, double l3)
+{
+    // Split: small private inflation, the rest on shared.
+    ProbeReading r;
+    r.privCpi = 0.7 * 1.01;
+    r.sharedCpi = 0.9 * total_slowdown - r.privCpi;
+    r.instructions = 45e6;
+    r.machineL3MissPerUs = l3;
+    return r;
+}
+
+TEST(Recalibration, ConfigValidation)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationConfig bad;
+    bad.minReadings = 100;
+    bad.windowSize = 10;
+    EXPECT_EXIT(RecalibrationAdvisor(model, bad),
+                ::testing::ExitedWithCode(1), "minReadings");
+    bad = RecalibrationConfig{};
+    bad.outOfRangeTolerance = 1.5;
+    EXPECT_EXIT(RecalibrationAdvisor(model, bad),
+                ::testing::ExitedWithCode(1), "tolerance");
+}
+
+TEST(Recalibration, InsufficientDataAtFirst)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationAdvisor advisor(model);
+    EXPECT_EQ(advisor.advice(),
+              RecalibrationAdvice::InsufficientData);
+    advisor.observe(reading(1.2, 150.0), Language::Python);
+    EXPECT_EQ(advisor.advice(),
+              RecalibrationAdvice::InsufficientData);
+}
+
+TEST(Recalibration, HealthyInsideEnvelope)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationAdvisor advisor(model);
+    for (int i = 0; i < 32; ++i)
+        advisor.observe(reading(1.2, 150.0), Language::Python);
+    EXPECT_EQ(advisor.advice(), RecalibrationAdvice::TablesHealthy);
+    EXPECT_LT(advisor.outOfRangeFraction(), 0.1);
+    EXPECT_LT(advisor.unbracketedFraction(), 0.1);
+}
+
+TEST(Recalibration, FlagsCongestionBeyondSweep)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationAdvisor advisor(model);
+    // Tables only swept totals up to 1.4; feed 2.2x slowdowns.
+    for (int i = 0; i < 32; ++i)
+        advisor.observe(reading(2.2, 150.0), Language::Python);
+    EXPECT_EQ(advisor.advice(),
+              RecalibrationAdvice::SweepHigherLevels);
+    EXPECT_GT(advisor.outOfRangeFraction(), 0.5);
+}
+
+TEST(Recalibration, FlagsUnbracketedL3Signature)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationAdvisor advisor(model);
+    // In-range slowdown but an L3 rate far above the MB envelope.
+    for (int i = 0; i < 32; ++i)
+        advisor.observe(reading(1.2, 5e6), Language::Python);
+    EXPECT_EQ(advisor.advice(),
+              RecalibrationAdvice::GeneratorsDontBracket);
+    EXPECT_GT(advisor.unbracketedFraction(), 0.5);
+}
+
+TEST(Recalibration, WindowSlides)
+{
+    const DiscountModel model = makeModel();
+    RecalibrationConfig cfg;
+    cfg.windowSize = 16;
+    cfg.minReadings = 8;
+    RecalibrationAdvisor advisor(model, cfg);
+    // Old bad readings age out once good ones fill the window.
+    for (int i = 0; i < 16; ++i)
+        advisor.observe(reading(2.2, 150.0), Language::Python);
+    EXPECT_EQ(advisor.advice(),
+              RecalibrationAdvice::SweepHigherLevels);
+    for (int i = 0; i < 16; ++i)
+        advisor.observe(reading(1.2, 150.0), Language::Python);
+    EXPECT_EQ(advisor.advice(), RecalibrationAdvice::TablesHealthy);
+    EXPECT_EQ(advisor.readingCount(), 16u);
+}
+
+TEST(Recalibration, AdviceNames)
+{
+    EXPECT_EQ(RecalibrationAdvisor::adviceName(
+                  RecalibrationAdvice::TablesHealthy),
+              "tables-healthy");
+    EXPECT_EQ(RecalibrationAdvisor::adviceName(
+                  RecalibrationAdvice::SweepHigherLevels),
+              "sweep-higher-levels");
+}
+
+} // namespace
+} // namespace litmus::pricing

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the regression models backing the discount estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/regression.h"
+#include "common/rng.h"
+
+namespace litmus
+{
+namespace
+{
+
+TEST(LinearFit, RecoversExactLine)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.5 * x - 1.0);
+    const auto fit = LinearFit::fit(xs, ys);
+    EXPECT_NEAR(fit.slope(), 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept(), -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-12);
+    EXPECT_EQ(fit.sampleCount(), xs.size());
+}
+
+TEST(LinearFit, PredictAndInvertRoundTrip)
+{
+    const LinearFit fit(3.0, 2.0);
+    EXPECT_DOUBLE_EQ(fit.predict(4.0), 14.0);
+    EXPECT_DOUBLE_EQ(fit.invert(14.0), 4.0);
+    for (double x : {-5.0, 0.0, 1.7, 100.0})
+        EXPECT_NEAR(fit.invert(fit.predict(x)), x, 1e-9);
+}
+
+TEST(LinearFit, InvertFlatLineFatal)
+{
+    const LinearFit fit(0.0, 1.0);
+    EXPECT_EXIT(fit.invert(1.0), ::testing::ExitedWithCode(1), "invert");
+}
+
+TEST(LinearFit, R2DropsWithNoise)
+{
+    Rng rng(99);
+    std::vector<double> xs, clean, noisy;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        clean.push_back(2.0 * i + 1.0);
+        noisy.push_back(2.0 * i + 1.0 + rng.gaussian(0, 10.0));
+    }
+    EXPECT_GT(LinearFit::fit(xs, clean).r2(),
+              LinearFit::fit(xs, noisy).r2());
+    EXPECT_GT(LinearFit::fit(xs, noisy).r2(), 0.8);
+}
+
+TEST(LinearFit, RejectsDegenerateInput)
+{
+    EXPECT_EXIT(LinearFit::fit({1}, {1}), ::testing::ExitedWithCode(1),
+                "two samples");
+    EXPECT_EXIT(LinearFit::fit({1, 2}, {1}), ::testing::ExitedWithCode(1),
+                "size mismatch");
+    EXPECT_EXIT(LinearFit::fit({3, 3, 3}, {1, 2, 3}),
+                ::testing::ExitedWithCode(1), "degenerate");
+}
+
+TEST(LogFit, RecoversExactCurve)
+{
+    // y = 2 + 0.5 ln x
+    std::vector<double> xs, ys;
+    for (double x : {1.0, 3.0, 10.0, 50.0, 400.0}) {
+        xs.push_back(x);
+        ys.push_back(2.0 + 0.5 * std::log(x));
+    }
+    const auto fit = LogFit::fit(xs, ys);
+    EXPECT_NEAR(fit.a(), 2.0, 1e-9);
+    EXPECT_NEAR(fit.b(), 0.5, 1e-9);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-9);
+}
+
+TEST(LogFit, PredictInvertRoundTrip)
+{
+    const LogFit fit(1.0, 0.25);
+    for (double x : {0.5, 1.0, 10.0, 1e4})
+        EXPECT_NEAR(fit.invert(fit.predict(x)), x, x * 1e-9);
+}
+
+TEST(LogFit, RejectsNonPositiveX)
+{
+    EXPECT_EXIT(LogFit::fit({0.0, 1.0}, {1, 2}),
+                ::testing::ExitedWithCode(1), "positive");
+    const LogFit fit(1.0, 1.0);
+    EXPECT_EXIT(fit.predict(0.0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(LogBlendWeight, Extremes)
+{
+    EXPECT_DOUBLE_EQ(logBlendWeight(1.0, 10.0, 1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(logBlendWeight(10.0, 10.0, 1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(logBlendWeight(1000.0, 10.0, 1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(logBlendWeight(5000.0, 10.0, 1000.0), 1.0);
+}
+
+TEST(LogBlendWeight, GeometricMidpoint)
+{
+    // The paper's Figure 10 example: 100 misses midway between 10 and
+    // 1000 on a log scale.
+    EXPECT_NEAR(logBlendWeight(100.0, 10.0, 1000.0), 0.5, 1e-12);
+}
+
+TEST(LogBlendWeight, SwappedBoundsHandled)
+{
+    EXPECT_NEAR(logBlendWeight(100.0, 1000.0, 10.0), 0.5, 1e-12);
+}
+
+TEST(LogBlendWeight, DegenerateBoundsClampLow)
+{
+    // When the bounds collapse, the low clamp wins (v <= lo).
+    EXPECT_DOUBLE_EQ(logBlendWeight(10.0, 10.0, 10.0 + 1e-15), 0.0);
+}
+
+TEST(LogBlendWeight, RejectsNonPositive)
+{
+    EXPECT_EXIT(logBlendWeight(0.0, 1.0, 2.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(Lerp, Basics)
+{
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 2.0), 6.0); // extrapolates
+}
+
+/** Property: blend weight is monotone in v. */
+class BlendMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BlendMonotone, MonotoneInObservation)
+{
+    const double lo = 5.0, hi = 5000.0;
+    const double v = GetParam();
+    const double w = logBlendWeight(v, lo, hi);
+    const double wNext = logBlendWeight(v * 1.5, lo, hi);
+    EXPECT_GE(wNext, w);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlendMonotone,
+                         ::testing::Values(1.0, 5.0, 20.0, 100.0, 800.0,
+                                           4000.0, 9000.0));
+
+/** Property: linear fits recover arbitrary slopes from noisy data. */
+class FitRecovery : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FitRecovery, SlopeWithinTolerance)
+{
+    const double slope = GetParam();
+    Rng rng(static_cast<std::uint64_t>(slope * 1000) + 5);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(0, 10);
+        xs.push_back(x);
+        ys.push_back(slope * x + 3.0 + rng.gaussian(0, 0.05));
+    }
+    const auto fit = LinearFit::fit(xs, ys);
+    EXPECT_NEAR(fit.slope(), slope, 0.02);
+    EXPECT_NEAR(fit.intercept(), 3.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, FitRecovery,
+                         ::testing::Values(-2.0, -0.5, 0.1, 1.0, 3.0,
+                                           10.0));
+
+} // namespace
+} // namespace litmus

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic random generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace litmus
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.5);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.5);
+    }
+}
+
+TEST(Rng, UniformMeanConverges)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(19);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, JitterCentersOnOne)
+{
+    Rng rng(31);
+    double logSum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double j = rng.jitter(0.02);
+        EXPECT_GT(j, 0.9);
+        EXPECT_LT(j, 1.1);
+        logSum += std::log(j);
+    }
+    EXPECT_NEAR(logSum / n, 0.0, 0.005);
+}
+
+TEST(Rng, JitterZeroSpreadIsIdentity)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.jitter(0.0), 1.0);
+    EXPECT_EQ(rng.jitter(-1.0), 1.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(41);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(43);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(47);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += parent() == child();
+    EXPECT_LT(equal, 5);
+}
+
+/** Property sweep: basic sanity across many seeds. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformBoundsAndVariety)
+{
+    Rng rng(GetParam());
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 256; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        seen.insert(rng());
+    }
+    EXPECT_GT(seen.size(), 250u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull,
+                                           0xdeadbeefull, ~0ull,
+                                           0x123456789abcdefull));
+
+} // namespace
+} // namespace litmus

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the OS scheduler: placement, rotation, warmth model,
+ * rebalancing, freezing, and SMT sibling detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/os_scheduler.h"
+#include "workload/program.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+std::unique_ptr<workload::EndlessTask>
+makeTask(const std::string &name)
+{
+    ResourceDemand d;
+    d.cpi0 = 1.0;
+    return std::make_unique<workload::EndlessTask>(name, d);
+}
+
+MachineConfig
+smallMachine(unsigned cores = 4, unsigned smt = 1)
+{
+    auto cfg = MachineConfig::cascadeLake5218();
+    cfg.cores = cores;
+    cfg.smtWays = smt;
+    return cfg;
+}
+
+TEST(Scheduler, PlacesOnLeastLoadedCpu)
+{
+    const auto cfg = smallMachine();
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b"), c = makeTask("c");
+    sched.add(a.get());
+    sched.add(b.get());
+    sched.add(c.get());
+    // Three tasks over four CPUs: no CPU holds two.
+    unsigned busy = 0;
+    for (unsigned cpu = 0; cpu < 4; ++cpu)
+        busy += sched.runningOn(cpu) != nullptr;
+    EXPECT_EQ(busy, 3u);
+}
+
+TEST(Scheduler, RespectsAffinity)
+{
+    const auto cfg = smallMachine();
+    OsScheduler sched(cfg);
+    auto a = makeTask("a");
+    a->setAffinity({2});
+    sched.add(a.get());
+    EXPECT_EQ(sched.runningOn(2), a.get());
+    EXPECT_EQ(sched.runningOn(0), nullptr);
+}
+
+TEST(Scheduler, RejectsOutOfRangeAffinity)
+{
+    const auto cfg = smallMachine();
+    OsScheduler sched(cfg);
+    auto a = makeTask("a");
+    a->setAffinity({99});
+    EXPECT_EXIT(sched.add(a.get()), ::testing::ExitedWithCode(1),
+                "affinity");
+}
+
+TEST(Scheduler, RotatesOnSliceExpiry)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    sched.add(a.get());
+    sched.add(b.get());
+    EXPECT_EQ(sched.runningOn(0), a.get());
+    sched.tick(cfg.timeSlice); // slice expires
+    EXPECT_EQ(sched.runningOn(0), b.get());
+    EXPECT_EQ(b->counters().contextSwitches, 1u);
+    EXPECT_GT(sched.consumePendingSwitchCycles(0), 0.0);
+    // Consumed: second read is zero.
+    EXPECT_DOUBLE_EQ(sched.consumePendingSwitchCycles(0), 0.0);
+}
+
+TEST(Scheduler, NoRotationWhenAlone)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a");
+    sched.add(a.get());
+    sched.tick(cfg.timeSlice * 3);
+    EXPECT_EQ(sched.runningOn(0), a.get());
+    EXPECT_EQ(a->counters().contextSwitches, 0u);
+}
+
+TEST(Scheduler, RemoveRunningPromotesNext)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    sched.add(a.get());
+    sched.add(b.get());
+    sched.remove(a.get());
+    EXPECT_EQ(sched.runningOn(0), b.get());
+    EXPECT_EQ(sched.totalTasks(), 1u);
+}
+
+TEST(Scheduler, RemoveUnknownPanics)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a");
+    EXPECT_DEATH(sched.remove(a.get()), "not queued");
+}
+
+TEST(Scheduler, WarmthCurveShape)
+{
+    // Figure 14: 1.0 alone, ~1.024 at 10 co-runners, saturating ~1.028
+    // past 20.
+    const auto cfg = smallMachine();
+    OsScheduler sched(cfg);
+    EXPECT_DOUBLE_EQ(sched.warmthForCount(0), 1.0);
+    EXPECT_DOUBLE_EQ(sched.warmthForCount(1), 1.0);
+    EXPECT_NEAR(sched.warmthForCount(10), 1.024, 0.002);
+    EXPECT_NEAR(sched.warmthForCount(25), 1.028, 0.001);
+    // Logarithmic-ish: increments shrink.
+    const double d1 = sched.warmthForCount(2) - sched.warmthForCount(1);
+    const double d9 =
+        sched.warmthForCount(10) - sched.warmthForCount(9);
+    EXPECT_GT(d1, d9);
+}
+
+TEST(Scheduler, WarmthAppliesPerCpuQueue)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b"), c = makeTask("c");
+    sched.add(a.get());
+    EXPECT_DOUBLE_EQ(sched.warmthMult(0), 1.0);
+    sched.add(b.get());
+    sched.add(c.get());
+    EXPECT_DOUBLE_EQ(sched.warmthMult(0), sched.warmthForCount(3));
+}
+
+TEST(Scheduler, RebalanceFillsIdleCpu)
+{
+    const auto cfg = smallMachine(2);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b"), c = makeTask("c");
+    sched.add(a.get()); // cpu 0
+    sched.add(b.get()); // cpu 1
+    sched.add(c.get()); // cpu 0 or 1 (queue of 2)
+    // Remove the task that ran alone; the waiting task should migrate.
+    Task *aloneTask = sched.queueLength(0) == 1 ? a.get() : b.get();
+    sched.remove(aloneTask);
+    EXPECT_EQ(sched.queueLength(0), 1u);
+    EXPECT_EQ(sched.queueLength(1), 1u);
+}
+
+TEST(Scheduler, RebalanceHonoursAffinity)
+{
+    const auto cfg = smallMachine(2);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b"), c = makeTask("c");
+    a->setAffinity({0});
+    b->setAffinity({0});
+    c->setAffinity({0});
+    sched.add(a.get());
+    sched.add(b.get());
+    sched.add(c.get());
+    // CPU 1 idle but nothing may move there.
+    EXPECT_EQ(sched.queueLength(1), 0u);
+    EXPECT_EQ(sched.queueLength(0), 3u);
+}
+
+TEST(Scheduler, FrozenTaskSkipped)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    sched.add(a.get());
+    sched.add(b.get());
+    sched.setFrozen(a.get(), true);
+    EXPECT_TRUE(sched.isFrozen(a.get()));
+    EXPECT_EQ(sched.runningOn(0), b.get());
+    sched.setFrozen(a.get(), false);
+    EXPECT_EQ(sched.runningOn(0), a.get());
+}
+
+TEST(Scheduler, AllFrozenMeansIdle)
+{
+    const auto cfg = smallMachine(1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a");
+    sched.add(a.get());
+    sched.setFrozen(a.get(), true);
+    EXPECT_EQ(sched.runningOn(0), nullptr);
+    EXPECT_EQ(sched.activeCores(), 0u);
+}
+
+TEST(Scheduler, ActiveCoresCountsBusyCores)
+{
+    const auto cfg = smallMachine(4);
+    OsScheduler sched(cfg);
+    EXPECT_EQ(sched.activeCores(), 0u);
+    auto a = makeTask("a"), b = makeTask("b");
+    sched.add(a.get());
+    sched.add(b.get());
+    EXPECT_EQ(sched.activeCores(), 2u);
+}
+
+TEST(Scheduler, SmtSiblingDetection)
+{
+    const auto cfg = smallMachine(2, 2); // 2 cores x 2 ways = 4 cpus
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    a->setAffinity({0}); // core 0 way 0
+    b->setAffinity({1}); // core 0 way 1
+    sched.add(a.get());
+    EXPECT_FALSE(sched.siblingBusy(0));
+    sched.add(b.get());
+    EXPECT_TRUE(sched.siblingBusy(0));
+    EXPECT_TRUE(sched.siblingBusy(1));
+    EXPECT_FALSE(sched.siblingBusy(2));
+}
+
+TEST(Scheduler, SmtDisabledNeverSibling)
+{
+    const auto cfg = smallMachine(2, 1);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    sched.add(a.get());
+    sched.add(b.get());
+    EXPECT_FALSE(sched.siblingBusy(0));
+    EXPECT_FALSE(sched.siblingBusy(1));
+}
+
+TEST(Scheduler, ActiveCoresWithSmtCountsPhysical)
+{
+    const auto cfg = smallMachine(2, 2);
+    OsScheduler sched(cfg);
+    auto a = makeTask("a"), b = makeTask("b");
+    a->setAffinity({0});
+    b->setAffinity({1}); // same physical core
+    sched.add(a.get());
+    sched.add(b.get());
+    EXPECT_EQ(sched.activeCores(), 1u);
+}
+
+} // namespace
+} // namespace litmus::sim

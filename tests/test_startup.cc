@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the language-runtime startup models (the probe substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "workload/runtime_startup.h"
+
+namespace litmus::workload
+{
+namespace
+{
+
+TEST(Startup, AllLanguagesListed)
+{
+    EXPECT_EQ(allLanguages().size(), 3u);
+}
+
+TEST(Startup, Suffixes)
+{
+    EXPECT_EQ(languageSuffix(Language::Python), "py");
+    EXPECT_EQ(languageSuffix(Language::NodeJs), "nj");
+    EXPECT_EQ(languageSuffix(Language::Go), "go");
+    EXPECT_EQ(languageName(Language::Python), "Python");
+}
+
+TEST(Startup, ProgramsNonEmptyAndValid)
+{
+    for (Language lang : allLanguages()) {
+        const PhaseProgram &p = startupProgram(lang);
+        EXPECT_GE(p.size(), 3u) << languageName(lang);
+        for (const Phase &phase : p.phases())
+            EXPECT_NO_FATAL_FAILURE(phase.validate());
+    }
+}
+
+TEST(Startup, ProbeWindowWithinStartup)
+{
+    for (Language lang : allLanguages()) {
+        EXPECT_LT(probeWindow(lang),
+                  startupProgram(lang).totalInstructions())
+            << languageName(lang);
+        EXPECT_GT(probeWindow(lang), 0.0);
+    }
+}
+
+TEST(Startup, PythonWindowMatchesPaper)
+{
+    // Section 7.1: the first 45 million instructions.
+    EXPECT_DOUBLE_EQ(probeWindow(Language::Python), 45e6);
+}
+
+TEST(Startup, ProgramsAreSingletons)
+{
+    // Same-language startups must be identical — the property the
+    // Litmus test leans on.
+    EXPECT_EQ(&startupProgram(Language::Python),
+              &startupProgram(Language::Python));
+}
+
+TEST(Startup, RelativeDurations)
+{
+    // Figure 6: Node.js startup is by far the longest, Go the
+    // shortest; measure solo durations on the reference machine.
+    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    std::map<Language, Seconds> wall;
+    for (Language lang : allLanguages()) {
+        const auto run = sim::runSolo(cfg, [&] {
+            return std::make_unique<ProgramTask>("s",
+                                                 startupProgram(lang));
+        });
+        wall[lang] = run.wallTime;
+    }
+    EXPECT_GT(wall[Language::NodeJs], 3 * wall[Language::Python]);
+    EXPECT_GT(wall[Language::Python], 2 * wall[Language::Go]);
+    // Rough absolute scale (paper: ~19 ms / ~97 ms / ~6 ms).
+    EXPECT_NEAR(wall[Language::Python], 19e-3, 12e-3);
+    EXPECT_NEAR(wall[Language::NodeJs], 97e-3, 50e-3);
+    EXPECT_NEAR(wall[Language::Go], 6e-3, 5e-3);
+}
+
+TEST(Startup, MemoryHeavyPrefix)
+{
+    // The probe window must cover memory-intensive phases: average
+    // MPKI over the window should be substantial.
+    for (Language lang : allLanguages()) {
+        const PhaseProgram &p = startupProgram(lang);
+        const Instructions window = probeWindow(lang);
+        Instructions seen = 0;
+        double weightedMpki = 0;
+        for (const Phase &phase : p.phases()) {
+            if (seen >= window)
+                break;
+            const Instructions take =
+                std::min(phase.instructions, window - seen);
+            weightedMpki += take * phase.demand.l2Mpki;
+            seen += take;
+        }
+        EXPECT_GT(weightedMpki / window, 8.0) << languageName(lang);
+    }
+}
+
+} // namespace
+} // namespace litmus::workload

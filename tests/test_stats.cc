@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace litmus
+{
+namespace
+{
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({-5, 5}), 0.0);
+}
+
+TEST(Gmean, Basics)
+{
+    EXPECT_DOUBLE_EQ(gmean({4, 1}), 2.0);
+    EXPECT_DOUBLE_EQ(gmean({3, 3, 3}), 3.0);
+    EXPECT_NEAR(gmean({1, 2, 4, 8}), 2.8284271, 1e-6);
+}
+
+TEST(Gmean, RejectsNonPositive)
+{
+    EXPECT_EXIT(gmean({1.0, 0.0}), ::testing::ExitedWithCode(1), "gmean");
+    EXPECT_EXIT(gmean({}), ::testing::ExitedWithCode(1), "gmean");
+}
+
+TEST(Gmean, BelowArithmeticMean)
+{
+    // AM-GM inequality on a spread-out series.
+    const std::vector<double> xs = {1.0, 2.0, 9.0, 0.5};
+    EXPECT_LT(gmean(xs), mean(xs));
+}
+
+TEST(Stddev, Basics)
+{
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(MinMax, Basics)
+{
+    EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3.0);
+    EXPECT_EXIT(minOf({}), ::testing::ExitedWithCode(1), "minOf");
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({7}, 50), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_EXIT(percentile({}, 50), ::testing::ExitedWithCode(1),
+                "percentile");
+    EXPECT_EXIT(percentile({1.0}, 101), ::testing::ExitedWithCode(1),
+                "percentile");
+}
+
+TEST(MeanAbs, Basics)
+{
+    EXPECT_DOUBLE_EQ(meanAbs({-1, 1, -3, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(meanAbs({}), 0.0);
+}
+
+TEST(GmeanAbs, IgnoresZeros)
+{
+    EXPECT_DOUBLE_EQ(gmeanAbs({-4, 0.0, 1}), 2.0);
+    EXPECT_DOUBLE_EQ(gmeanAbs({0.0, 0.0}), 0.0);
+}
+
+TEST(Ratio, Elementwise)
+{
+    const auto r = ratio({2, 9}, {4, 3});
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_DOUBLE_EQ(r[0], 0.5);
+    EXPECT_DOUBLE_EQ(r[1], 3.0);
+}
+
+TEST(Ratio, RejectsMismatchAndZero)
+{
+    EXPECT_EXIT(ratio({1}, {1, 2}), ::testing::ExitedWithCode(1),
+                "ratio");
+    EXPECT_EXIT(ratio({1}, {0}), ::testing::ExitedWithCode(1), "ratio");
+}
+
+TEST(OnlineStats, MatchesBatch)
+{
+    const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+    OnlineStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsConcatenation)
+{
+    OnlineStats a, b, whole;
+    const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        (i < 3 ? a : b).add(xs[i]);
+        whole.add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, ResetClears)
+{
+    OnlineStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+} // namespace
+} // namespace litmus

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the interpolating lookup table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace litmus
+{
+namespace
+{
+
+InterpTable
+makeTable()
+{
+    InterpTable t;
+    t.add(1, 10);
+    t.add(3, 30);
+    t.add(7, 50);
+    return t;
+}
+
+TEST(InterpTable, SizeAndRange)
+{
+    const auto t = makeTable();
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_FALSE(t.empty());
+    EXPECT_DOUBLE_EQ(t.minKey(), 1.0);
+    EXPECT_DOUBLE_EQ(t.maxKey(), 7.0);
+}
+
+TEST(InterpTable, ExactKeys)
+{
+    const auto t = makeTable();
+    EXPECT_DOUBLE_EQ(t.at(1), 10.0);
+    EXPECT_DOUBLE_EQ(t.at(3), 30.0);
+    EXPECT_DOUBLE_EQ(t.at(7), 50.0);
+}
+
+TEST(InterpTable, InterpolatesBetweenKeys)
+{
+    const auto t = makeTable();
+    EXPECT_DOUBLE_EQ(t.at(2), 20.0);
+    EXPECT_DOUBLE_EQ(t.at(5), 40.0);
+}
+
+TEST(InterpTable, ClampsOutsideRange)
+{
+    const auto t = makeTable();
+    EXPECT_DOUBLE_EQ(t.at(0), 10.0);
+    EXPECT_DOUBLE_EQ(t.at(100), 50.0);
+}
+
+TEST(InterpTable, InverseLookup)
+{
+    const auto t = makeTable();
+    EXPECT_DOUBLE_EQ(t.keyFor(10), 1.0);
+    EXPECT_DOUBLE_EQ(t.keyFor(20), 2.0);
+    EXPECT_DOUBLE_EQ(t.keyFor(40), 5.0);
+    EXPECT_DOUBLE_EQ(t.keyFor(50), 7.0);
+}
+
+TEST(InterpTable, InverseClamps)
+{
+    const auto t = makeTable();
+    EXPECT_DOUBLE_EQ(t.keyFor(5), 1.0);
+    EXPECT_DOUBLE_EQ(t.keyFor(500), 7.0);
+}
+
+TEST(InterpTable, SingleEntry)
+{
+    InterpTable t;
+    t.add(4, 44);
+    EXPECT_DOUBLE_EQ(t.at(0), 44.0);
+    EXPECT_DOUBLE_EQ(t.at(9), 44.0);
+    EXPECT_DOUBLE_EQ(t.keyFor(123), 4.0);
+}
+
+TEST(InterpTable, RejectsNonIncreasingKeys)
+{
+    InterpTable t;
+    t.add(1, 1);
+    EXPECT_EXIT(t.add(1, 2), ::testing::ExitedWithCode(1), "increasing");
+    EXPECT_EXIT(t.add(0, 2), ::testing::ExitedWithCode(1), "increasing");
+}
+
+TEST(InterpTable, EmptyTableFatal)
+{
+    const InterpTable t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EXIT(t.at(1), ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(t.minKey(), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(InterpTable, RawSeriesExposed)
+{
+    const auto t = makeTable();
+    EXPECT_EQ(t.keys().size(), 3u);
+    EXPECT_EQ(t.values().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.values()[1], 30.0);
+}
+
+} // namespace
+} // namespace litmus

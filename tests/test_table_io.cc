@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Round-trip tests for the calibration-table serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/discount_model.h"
+#include "core/table_io.h"
+
+namespace litmus::pricing
+{
+namespace
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+/** A small but fully populated pair of tables. */
+void
+fill(CongestionTable &congestion, PerformanceTable &performance)
+{
+    for (Language lang : workload::allLanguages()) {
+        ProbeReading base;
+        base.privCpi = 0.71;
+        base.sharedCpi = 0.19;
+        base.instructions = 45e6;
+        base.machineL3MissPerUs = 2.5;
+        congestion.setBaseline(lang, base);
+        for (GeneratorKind gen :
+             {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+            for (unsigned level : {2u, 8u, 14u}) {
+                CongestionEntry e;
+                e.privSlowdown = 1.0 + 0.01 * level;
+                e.sharedSlowdown = 1.0 + 0.1 * level;
+                e.totalSlowdown = 1.0 + 0.02 * level;
+                e.l3MissPerUs =
+                    (gen == GeneratorKind::MbGen ? 100.0 : 5.0) * level;
+                congestion.add(lang, gen, level, e);
+            }
+        }
+    }
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        for (unsigned level : {2u, 8u, 14u}) {
+            PerformanceEntry p;
+            p.privSlowdown = 1.0 + 0.012 * level;
+            p.sharedSlowdown = 1.0 + 0.09 * level;
+            p.totalSlowdown = 1.0 + 0.025 * level;
+            performance.add(gen, level, p);
+        }
+    }
+}
+
+TEST(TableIo, RoundTripPreservesEverything)
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+    fill(congestion, performance);
+
+    std::stringstream stream;
+    saveTables(stream, congestion, performance);
+    const LoadedTables loaded = loadTables(stream);
+
+    for (Language lang : workload::allLanguages()) {
+        const ProbeReading &a = congestion.baseline(lang);
+        const ProbeReading &b = loaded.congestion.baseline(lang);
+        EXPECT_DOUBLE_EQ(a.privCpi, b.privCpi);
+        EXPECT_DOUBLE_EQ(a.sharedCpi, b.sharedCpi);
+        EXPECT_DOUBLE_EQ(a.machineL3MissPerUs, b.machineL3MissPerUs);
+
+        for (GeneratorKind gen :
+             {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+            EXPECT_EQ(congestion.levels(lang, gen),
+                      loaded.congestion.levels(lang, gen));
+            EXPECT_EQ(congestion.sharedSeries(lang, gen),
+                      loaded.congestion.sharedSeries(lang, gen));
+            EXPECT_EQ(congestion.l3Series(lang, gen),
+                      loaded.congestion.l3Series(lang, gen));
+        }
+    }
+    for (GeneratorKind gen :
+         {GeneratorKind::CtGen, GeneratorKind::MbGen}) {
+        EXPECT_EQ(performance.levels(gen),
+                  loaded.performance.levels(gen));
+        EXPECT_EQ(performance.totalSeries(gen),
+                  loaded.performance.totalSeries(gen));
+    }
+}
+
+TEST(TableIo, LoadedTablesBuildAModel)
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+    fill(congestion, performance);
+    std::stringstream stream;
+    saveTables(stream, congestion, performance);
+    const LoadedTables loaded = loadTables(stream);
+
+    const DiscountModel original(congestion, performance);
+    const DiscountModel reloaded(loaded.congestion,
+                                 loaded.performance);
+
+    ProbeReading reading;
+    reading.privCpi = 0.71 * 1.05;
+    reading.sharedCpi = 0.19 * 1.4;
+    reading.instructions = 45e6;
+    reading.machineL3MissPerUs = 120.0;
+    const auto a = original.estimate(reading, Language::Python);
+    const auto b = reloaded.estimate(reading, Language::Python);
+    EXPECT_DOUBLE_EQ(a.rPrivate, b.rPrivate);
+    EXPECT_DOUBLE_EQ(a.rShared, b.rShared);
+    EXPECT_DOUBLE_EQ(a.blendWeight, b.blendWeight);
+}
+
+TEST(TableIo, FileRoundTrip)
+{
+    CongestionTable congestion;
+    PerformanceTable performance;
+    fill(congestion, performance);
+    const std::string path = "/tmp/litmus_test_tables.txt";
+    saveTables(path, congestion, performance);
+    const LoadedTables loaded = loadTables(path);
+    EXPECT_TRUE(loaded.performance.populated(GeneratorKind::MbGen));
+}
+
+TEST(TableIo, BadHeaderFatal)
+{
+    std::stringstream stream("not-litmus v9\n");
+    EXPECT_EXIT(loadTables(stream), ::testing::ExitedWithCode(1),
+                "bad header");
+}
+
+TEST(TableIo, MalformedRowFatal)
+{
+    std::stringstream stream(
+        "litmus-tables v1\ncongestion python ct 2 1.0\n");
+    EXPECT_EXIT(loadTables(stream), ::testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(TableIo, UnknownRecordFatal)
+{
+    std::stringstream stream("litmus-tables v1\nwhatever 1 2 3\n");
+    EXPECT_EXIT(loadTables(stream), ::testing::ExitedWithCode(1),
+                "unknown record");
+}
+
+TEST(TableIo, MissingFileFatal)
+{
+    EXPECT_EXIT(loadTables("/nonexistent/tables.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace litmus::pricing

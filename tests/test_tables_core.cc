@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the congestion and performance tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/congestion_table.h"
+#include "core/performance_table.h"
+
+namespace litmus::pricing
+{
+namespace
+{
+
+using workload::GeneratorKind;
+using workload::Language;
+
+ProbeReading
+baselineReading()
+{
+    ProbeReading r;
+    r.privCpi = 0.7;
+    r.sharedCpi = 0.15;
+    r.instructions = 45e6;
+    r.machineL3MissPerUs = 1.0;
+    return r;
+}
+
+CongestionEntry
+entry(double priv, double shared, double total, double l3)
+{
+    CongestionEntry e;
+    e.privSlowdown = priv;
+    e.sharedSlowdown = shared;
+    e.totalSlowdown = total;
+    e.l3MissPerUs = l3;
+    return e;
+}
+
+TEST(CongestionTable, BaselineRoundTrip)
+{
+    CongestionTable t;
+    t.setBaseline(Language::Python, baselineReading());
+    EXPECT_DOUBLE_EQ(t.baseline(Language::Python).privCpi, 0.7);
+}
+
+TEST(CongestionTable, MissingBaselineFatal)
+{
+    const CongestionTable t;
+    EXPECT_EXIT(t.baseline(Language::Go), ::testing::ExitedWithCode(1),
+                "baseline");
+}
+
+TEST(CongestionTable, AddAndInterpolate)
+{
+    CongestionTable t;
+    t.add(Language::Python, GeneratorKind::CtGen, 2,
+          entry(1.01, 1.2, 1.05, 10));
+    t.add(Language::Python, GeneratorKind::CtGen, 6,
+          entry(1.05, 1.6, 1.15, 30));
+    const CongestionEntry mid =
+        t.at(Language::Python, GeneratorKind::CtGen, 4);
+    EXPECT_NEAR(mid.privSlowdown, 1.03, 1e-12);
+    EXPECT_NEAR(mid.sharedSlowdown, 1.4, 1e-12);
+    EXPECT_NEAR(mid.l3MissPerUs, 20.0, 1e-12);
+}
+
+TEST(CongestionTable, ClampsOutsideLevels)
+{
+    CongestionTable t;
+    t.add(Language::Python, GeneratorKind::CtGen, 2,
+          entry(1.01, 1.2, 1.05, 10));
+    t.add(Language::Python, GeneratorKind::CtGen, 6,
+          entry(1.05, 1.6, 1.15, 30));
+    EXPECT_DOUBLE_EQ(
+        t.at(Language::Python, GeneratorKind::CtGen, 0).privSlowdown,
+        1.01);
+    EXPECT_DOUBLE_EQ(
+        t.at(Language::Python, GeneratorKind::CtGen, 99).privSlowdown,
+        1.05);
+}
+
+TEST(CongestionTable, SeriesAccessors)
+{
+    CongestionTable t;
+    t.add(Language::Go, GeneratorKind::MbGen, 2,
+          entry(1.01, 1.5, 1.1, 100));
+    t.add(Language::Go, GeneratorKind::MbGen, 4,
+          entry(1.02, 1.9, 1.2, 300));
+    EXPECT_EQ(t.levels(Language::Go, GeneratorKind::MbGen).size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        t.sharedSeries(Language::Go, GeneratorKind::MbGen)[1], 1.9);
+    EXPECT_DOUBLE_EQ(t.l3Series(Language::Go, GeneratorKind::MbGen)[0],
+                     100.0);
+    EXPECT_TRUE(t.populated(Language::Go, GeneratorKind::MbGen));
+    EXPECT_FALSE(t.populated(Language::Go, GeneratorKind::CtGen));
+}
+
+TEST(CongestionTable, RejectsNonIncreasingLevels)
+{
+    CongestionTable t;
+    t.add(Language::Python, GeneratorKind::CtGen, 4,
+          entry(1, 1, 1, 1));
+    EXPECT_EXIT(t.add(Language::Python, GeneratorKind::CtGen, 4,
+                      entry(1, 1, 1, 1)),
+                ::testing::ExitedWithCode(1), "increase");
+}
+
+TEST(CongestionTable, MissingSeriesFatal)
+{
+    const CongestionTable t;
+    EXPECT_EXIT((void)t.levels(Language::Python, GeneratorKind::CtGen),
+                ::testing::ExitedWithCode(1), "no series");
+}
+
+TEST(PerformanceTable, AddAndAccess)
+{
+    PerformanceTable t;
+    PerformanceEntry e;
+    e.privSlowdown = 1.02;
+    e.sharedSlowdown = 1.8;
+    e.totalSlowdown = 1.12;
+    t.add(GeneratorKind::CtGen, 2, e);
+    e.sharedSlowdown = 2.4;
+    t.add(GeneratorKind::CtGen, 6, e);
+    EXPECT_EQ(t.levels(GeneratorKind::CtGen).size(), 2u);
+    EXPECT_DOUBLE_EQ(t.sharedSeries(GeneratorKind::CtGen)[1], 2.4);
+    EXPECT_TRUE(t.populated(GeneratorKind::CtGen));
+    EXPECT_FALSE(t.populated(GeneratorKind::MbGen));
+}
+
+TEST(PerformanceTable, RejectsNonIncreasingLevels)
+{
+    PerformanceTable t;
+    t.add(GeneratorKind::MbGen, 5, PerformanceEntry{});
+    EXPECT_EXIT(t.add(GeneratorKind::MbGen, 3, PerformanceEntry{}),
+                ::testing::ExitedWithCode(1), "increase");
+}
+
+TEST(PerformanceTable, MissingSeriesFatal)
+{
+    const PerformanceTable t;
+    EXPECT_EXIT((void)t.levels(GeneratorKind::CtGen),
+                ::testing::ExitedWithCode(1), "no series");
+}
+
+} // namespace
+} // namespace litmus::pricing

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the task abstraction and demand validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/program.h"
+
+namespace litmus::sim
+{
+namespace
+{
+
+TEST(ResourceDemand, ValidDefaults)
+{
+    ResourceDemand d;
+    EXPECT_NO_FATAL_FAILURE(d.validate());
+}
+
+TEST(ResourceDemand, RejectsBadCpi)
+{
+    ResourceDemand d;
+    d.cpi0 = 0.0;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "cpi0");
+}
+
+TEST(ResourceDemand, RejectsNegativeMpki)
+{
+    ResourceDemand d;
+    d.l2Mpki = -1.0;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "l2Mpki");
+}
+
+TEST(ResourceDemand, RejectsBadMissBase)
+{
+    ResourceDemand d;
+    d.l3MissBase = 1.5;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1),
+                "l3MissBase");
+}
+
+TEST(ResourceDemand, RejectsBadMlp)
+{
+    ResourceDemand d;
+    d.mlp = 0.5;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "mlp");
+}
+
+TEST(Task, IdentityAndAffinity)
+{
+    workload::EndlessTask task("gen", ResourceDemand{});
+    EXPECT_EQ(task.name(), "gen");
+    EXPECT_TRUE(task.affinity().empty());
+    task.setAffinity({3, 4});
+    ASSERT_EQ(task.affinity().size(), 2u);
+    EXPECT_EQ(task.affinity()[0], 3u);
+    task.setId(42);
+    EXPECT_EQ(task.id(), 42u);
+}
+
+TEST(Task, ProbeWindowDefaultsOff)
+{
+    workload::EndlessTask task("gen", ResourceDemand{});
+    EXPECT_DOUBLE_EQ(task.probeWindow(), Task::noProbe);
+    EXPECT_FALSE(task.probe().started);
+}
+
+TEST(EndlessTask, NeverFinishes)
+{
+    workload::EndlessTask task("gen", ResourceDemand{});
+    EXPECT_FALSE(task.finished());
+    task.retire(1e12);
+    EXPECT_FALSE(task.finished());
+    EXPECT_TRUE(std::isinf(task.remainingInPhase()));
+}
+
+} // namespace
+} // namespace litmus::sim

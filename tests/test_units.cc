@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Tests for unit literals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace litmus
+{
+namespace
+{
+
+TEST(Units, SizeLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(44_MiB, 44ull << 20);
+}
+
+TEST(Units, InstructionLiteral)
+{
+    EXPECT_DOUBLE_EQ(45_Minstr, 45e6);
+    EXPECT_DOUBLE_EQ(1_Minstr, 1e6);
+}
+
+TEST(Units, TimeLiterals)
+{
+    EXPECT_DOUBLE_EQ(50_us, 50e-6);
+    EXPECT_DOUBLE_EQ(5_ms, 5e-3);
+}
+
+TEST(Units, FrequencyLiterals)
+{
+    EXPECT_DOUBLE_EQ(2.8_GHz, 2.8e9);
+    EXPECT_DOUBLE_EQ(3_GHz, 3e9);
+}
+
+} // namespace
+} // namespace litmus

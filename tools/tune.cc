@@ -1,0 +1,38 @@
+// Scratch tuning harness (not installed): prints the headline shapes
+// the suite calibration must hit before the benches are meaningful.
+#include <iostream>
+
+#include "common/text_table.h"
+#include "core/experiment.h"
+#include "workload/suite.h"
+
+using namespace litmus;
+
+int
+main()
+{
+    pricing::ExperimentConfig cfg;
+    cfg.coRunners = 26;
+    cfg.layoutOnePerCore();
+    cfg.repetitions = 3;
+    cfg.warmup = 0.1;
+
+    const auto result = pricing::runSlowdownExperiment(cfg);
+
+    TextTable table({"function", "slowdown", "tPriv", "tShared",
+                     "sharedShare"});
+    for (const auto &row : result.rows) {
+        table.addRow({row.name, TextTable::num(row.totalSlowdown),
+                      TextTable::num(row.tPrivSlowdown),
+                      TextTable::num(row.tSharedSlowdown),
+                      TextTable::num(row.sharedShareSolo, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\ngmean slowdown  " << result.gmeanTotalSlowdown
+              << "  (paper 1.115)\n"
+              << "gmean tPriv     " << result.gmeanPrivSlowdown
+              << "  (paper ~1.04-1.053)\n"
+              << "gmean tShared   " << result.gmeanSharedSlowdown
+              << "  (paper ~2.81)\n";
+    return 0;
+}
