@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/config_reader.h"
 #include "sim/machine_config.h"
 
@@ -51,6 +54,67 @@ TEST(ConfigReader, MalformedLineFatal)
 {
     EXPECT_EXIT(ConfigReader::fromString("not a pair\n"),
                 ::testing::ExitedWithCode(1), "key=value");
+}
+
+TEST(ConfigReader, MalformedLineReportsLineNumber)
+{
+    EXPECT_EXIT(ConfigReader::fromString("a = 1\n\n# note\nbroken\n"),
+                ::testing::ExitedWithCode(1), "line 4");
+}
+
+TEST(ConfigReader, EmptyKeyFatal)
+{
+    EXPECT_EXIT(ConfigReader::fromString("= orphan value\n"),
+                ::testing::ExitedWithCode(1), "empty key");
+}
+
+TEST(ConfigReader, CommentedEqualsIsMalformed)
+{
+    // The comment strips the '=', leaving a bare token.
+    EXPECT_EXIT(ConfigReader::fromString("cores # = 4\n"),
+                ::testing::ExitedWithCode(1), "key=value");
+}
+
+TEST(ConfigReader, EmptyValueIsAllowed)
+{
+    const auto cfg = ConfigReader::fromString("k =\n");
+    EXPECT_TRUE(cfg.contains("k"));
+    EXPECT_EQ(cfg.get("k"), "");
+}
+
+TEST(ConfigReader, TrailingGarbageIntFatal)
+{
+    const auto cfg = ConfigReader::fromString("x = 12abc\n");
+    EXPECT_EXIT((void)cfg.getInt("x", 0), ::testing::ExitedWithCode(1),
+                "integer");
+}
+
+TEST(ConfigReader, MalformedDoubleFatal)
+{
+    const auto cfg = ConfigReader::fromString("x = 1.5ghz\n");
+    EXPECT_EXIT((void)cfg.getDouble("x", 0),
+                ::testing::ExitedWithCode(1), "number");
+}
+
+TEST(ConfigReader, MalformedBoolFatal)
+{
+    const auto cfg = ConfigReader::fromString("x = maybe\n");
+    EXPECT_EXIT((void)cfg.getBool("x", false),
+                ::testing::ExitedWithCode(1), "boolean");
+}
+
+TEST(ConfigReader, FromFileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "config_reader_roundtrip.conf";
+    {
+        std::ofstream out(path);
+        out << "# fleet override\ncores = 48\nbase_ghz = 3.0\n";
+    }
+    const auto cfg = ConfigReader::fromFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(cfg.getInt("cores", 0), 48);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("base_ghz", 0), 3.0);
 }
 
 TEST(ConfigReader, MalformedNumberFatal)
