@@ -1,0 +1,141 @@
+/**
+ * @file
+ * litmus-fleet: multi-machine serving front end.
+ *
+ * Simulates a fleet of identical machines behind a dispatcher, drives
+ * it with open-loop Poisson traffic sampled from the Table 1 suite,
+ * and prints per-machine serving rows plus the aggregated fleet
+ * billing report. With --tables pointing at a calibration artifact
+ * (from `litmus-sim calibrate`), cold invocations carry Litmus probes
+ * and are charged the discounted Litmus price, so the report shows
+ * fleet-wide revenue under fair pricing.
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "common/arg_parser.h"
+#include "common/config_reader.h"
+#include "common/logging.h"
+#include "common/text_table.h"
+#include "core/table_io.h"
+
+using namespace litmus;
+
+namespace
+{
+
+/** Integer flag that must be >= @p floor (casts would hide a typo'd
+ *  negative as a huge unsigned). */
+long
+intAtLeast(const ArgParser &args, const std::string &name, long floor)
+{
+    const long value = args.getInt(name);
+    if (value < floor)
+        fatal("--", name, " must be >= ", floor, ", got ", value);
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("litmus-fleet",
+                   "Fleet-scale Litmus serving simulator");
+    args.addOption("machines", "machines in the fleet", "4")
+        .addOption("policy",
+                   "dispatch policy: round-robin | least-loaded | "
+                   "warmth-aware",
+                   "warmth-aware")
+        .addOption("rate", "fleet arrival rate (invocations/s)", "2000")
+        .addOption("invocations", "total arrivals to serve", "10000")
+        .addOption("seed", "trace and jitter seed", "1")
+        .addOption("epoch-us", "dispatch epoch in microseconds", "1000")
+        .addOption("keepalive", "warm-container keep-alive (s)", "10")
+        .addOption("threads",
+                   "worker threads (0 = one per machine)", "0")
+        .addOption("preset", "machine preset: cascadelake | icelake",
+                   "cascadelake")
+        .addOption("machine", "key=value override file", "")
+        .addOption("tables",
+                   "calibration artifact: enables Litmus pricing", "");
+
+    if (!args.parse(argc, argv)) {
+        if (!args.errorText().empty())
+            std::cerr << "error: " << args.errorText() << "\n\n";
+        std::cerr << args.usage();
+        return args.errorText().empty() ? 0 : 2;
+    }
+
+    cluster::ClusterConfig cfg;
+    cfg.machines =
+        static_cast<unsigned>(intAtLeast(args, "machines", 1));
+    cfg.policy = cluster::policyByName(args.get("policy"));
+    cfg.arrivalsPerSecond = args.getDouble("rate");
+    cfg.invocations =
+        static_cast<std::uint64_t>(intAtLeast(args, "invocations", 1));
+    cfg.seed = static_cast<std::uint64_t>(intAtLeast(args, "seed", 0));
+    cfg.epoch = args.getDouble("epoch-us") * 1e-6;
+    cfg.keepAlive = args.getDouble("keepalive");
+    cfg.threads =
+        static_cast<unsigned>(intAtLeast(args, "threads", 0));
+    cfg.machine = args.get("preset") == "icelake"
+                      ? sim::MachineConfig::iceLake4314()
+                      : sim::MachineConfig::cascadeLake5218();
+    const std::string overridePath = args.get("machine");
+    if (!overridePath.empty())
+        applyMachineOverrides(cfg.machine,
+                              ConfigReader::fromFile(overridePath));
+
+    // Litmus pricing needs the calibration tables and probes on the
+    // cold path; without --tables everything bills commercially.
+    std::optional<pricing::LoadedTables> tables;
+    std::optional<pricing::DiscountModel> model;
+    const std::string tablesPath = args.get("tables");
+    if (!tablesPath.empty()) {
+        tables = pricing::loadTables(tablesPath);
+        model.emplace(tables->congestion, tables->performance);
+        cfg.discountModel = &*model;
+        cfg.probes = true;
+    }
+
+    inform("serving ", cfg.invocations, " invocations at ",
+           cfg.arrivalsPerSecond, "/s across ", cfg.machines,
+           " machines (", cluster::policyName(cfg.policy), ")");
+    cluster::Cluster fleet(cfg);
+    const cluster::FleetReport &report = fleet.run();
+
+    TextTable table({"machine", "dispatched", "cold", "warm",
+                     "billed s", "commercial $", "litmus $",
+                     "mean lat ms"});
+    for (const cluster::MachineReport &m : report.machines) {
+        table.addRow({std::to_string(m.index),
+                      std::to_string(m.dispatched),
+                      std::to_string(m.coldStarts),
+                      std::to_string(m.warmStarts),
+                      TextTable::num(m.billedCpuSeconds),
+                      TextTable::num(m.commercialUsd, 6),
+                      TextTable::num(m.litmusUsd, 6),
+                      TextTable::num(1e3 * m.meanLatency)});
+    }
+    table.addRow({"fleet", std::to_string(report.dispatched),
+                  std::to_string(report.coldStarts),
+                  std::to_string(report.warmStarts),
+                  TextTable::num(report.billedCpuSeconds),
+                  TextTable::num(report.commercialUsd, 6),
+                  TextTable::num(report.litmusUsd, 6),
+                  TextTable::num(1e3 * report.meanLatency)});
+    table.print(std::cout);
+
+    std::cout << "throughput "
+              << TextTable::num(report.throughput(), 0)
+              << " inv/s  cold-start rate "
+              << TextTable::num(100 * report.coldStartRate(), 1)
+              << "%  fleet discount "
+              << TextTable::num(100 * report.discount(), 1)
+              << "%  makespan " << TextTable::num(report.makespan)
+              << " s  rejected " << report.rejectedMemory << "\n";
+    return 0;
+}

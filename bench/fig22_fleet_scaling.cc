@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Figure 22 (extension): fleet scaling of the serving layer.
+ *
+ * The paper prices invocations on one machine; this bench scales the
+ * same open-loop traffic across 1 -> 16 machines under the three
+ * dispatch policies, holding the per-machine arrival rate constant
+ * (weak scaling). It reports served throughput, cold-start rate, and
+ * the fleet's price-conservation error — fleet billed CPU seconds
+ * versus the sum of the per-machine ledgers — and re-runs the largest
+ * configuration single-threaded and multi-threaded to prove the
+ * threaded runner is deterministic.
+ *
+ * Knobs: LITMUS_FLEET_INVOCATIONS (arrivals per machine, default 625
+ * so the 16-machine point serves 10000), LITMUS_FLEET_RATE (arrivals
+ * per second per machine, default 500).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+
+using namespace litmus;
+
+namespace
+{
+
+cluster::ClusterConfig
+fleetConfig(unsigned machines, cluster::DispatchPolicy policy,
+            std::uint64_t per_machine, double rate_per_machine)
+{
+    cluster::ClusterConfig cfg;
+    cfg.machines = machines;
+    cfg.policy = policy;
+    cfg.arrivalsPerSecond = rate_per_machine * machines;
+    cfg.invocations = per_machine * machines;
+    cfg.keepAlive = 10.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** |fleet billed - sum of machine ledgers| / fleet billed. */
+double
+conservationError(const cluster::FleetReport &report)
+{
+    // A zeroed fleet accumulator is itself a conservation bug, not a
+    // pass — never mask it.
+    if (report.billedCpuSeconds <= 0)
+        fatal("fig22: fleet billed no CPU time");
+    return std::abs(report.billedCpuSeconds -
+                    report.sumMachineBilledSeconds()) /
+           report.billedCpuSeconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 22 (extension): fleet scaling, 1 -> 16 "
+                "machines x 3 dispatch policies");
+
+    const std::uint64_t perMachine =
+        pricing::envOr("LITMUS_FLEET_INVOCATIONS", 625);
+    const double ratePerMachine =
+        pricing::envOr("LITMUS_FLEET_RATE", 500);
+
+    TextTable table({"machines", "policy", "invocations", "served/s",
+                     "cold %", "mean lat ms", "billed s",
+                     "conservation err"});
+    double worstConservation = 0;
+    double throughput1 = 0, throughput16 = 0;
+    double coldRr16 = 0, coldWarm16 = 0;
+    for (unsigned machines : {1u, 2u, 4u, 8u, 16u}) {
+        for (cluster::DispatchPolicy policy : cluster::allPolicies()) {
+            cluster::Cluster fleet(fleetConfig(
+                machines, policy, perMachine, ratePerMachine));
+            const cluster::FleetReport &report = fleet.run();
+            const double err = conservationError(report);
+            worstConservation = std::max(worstConservation, err);
+
+            if (machines == 1 &&
+                policy == cluster::DispatchPolicy::RoundRobin)
+                throughput1 = report.throughput();
+            if (machines == 16) {
+                if (policy == cluster::DispatchPolicy::RoundRobin) {
+                    throughput16 = report.throughput();
+                    coldRr16 = report.coldStartRate();
+                }
+                if (policy == cluster::DispatchPolicy::WarmthAware)
+                    coldWarm16 = report.coldStartRate();
+            }
+
+            table.addRow({std::to_string(machines),
+                          policyName(policy),
+                          std::to_string(report.dispatched),
+                          TextTable::num(report.throughput(), 0),
+                          TextTable::num(100 * report.coldStartRate(),
+                                         1),
+                          TextTable::num(1e3 * report.meanLatency, 1),
+                          TextTable::num(report.billedCpuSeconds, 3),
+                          TextTable::num(err, 9)});
+        }
+    }
+    table.print(std::cout);
+
+    // Determinism of the threaded runner: the largest configuration,
+    // serial vs. multi-threaded, must produce identical fleet totals.
+    auto detCfg = fleetConfig(16, cluster::DispatchPolicy::WarmthAware,
+                              perMachine, ratePerMachine);
+    detCfg.threads = 1;
+    cluster::Cluster serial(detCfg);
+    const cluster::FleetReport &serialReport = serial.run();
+    detCfg.threads = 8;
+    cluster::Cluster threaded(detCfg);
+    const cluster::FleetReport &threadedReport = threaded.run();
+    const bool deterministic =
+        serialReport.billedCpuSeconds ==
+            threadedReport.billedCpuSeconds &&
+        serialReport.coldStarts == threadedReport.coldStarts &&
+        serialReport.completions == threadedReport.completions &&
+        serialReport.commercialUsd == threadedReport.commercialUsd;
+    std::cout << "\ndeterminism(16 machines, 1 vs 8 threads): "
+              << (deterministic ? "identical totals" : "MISMATCH")
+              << "  billed " << TextTable::num(
+                     serialReport.billedCpuSeconds, 6)
+              << " vs " << TextTable::num(
+                     threadedReport.billedCpuSeconds, 6)
+              << "\n";
+
+    std::cout
+        << "\npaper=    n/a (fleet extension; single-machine Litmus "
+           "only) — expect near-linear weak scaling and "
+           "warmth-aware < round-robin cold starts\n"
+        << "measured= throughput x"
+        << TextTable::num(throughput1 > 0
+                              ? throughput16 / throughput1
+                              : 0.0,
+                          2)
+        << " from 1 to 16 machines, cold starts "
+        << TextTable::num(100 * coldRr16, 1) << "% (round-robin) vs "
+        << TextTable::num(100 * coldWarm16, 1)
+        << "% (warmth-aware), max price-conservation error "
+        << TextTable::num(worstConservation, 9) << "\n";
+
+    if (worstConservation > 1e-6)
+        fatal("fig22: fleet billing conservation violated (",
+              worstConservation, " relative)");
+    if (!deterministic)
+        fatal("fig22: threaded fleet runner is not deterministic");
+    return 0;
+}

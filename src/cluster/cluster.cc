@@ -1,0 +1,397 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "cluster/epoch_pool.h"
+#include "common/logging.h"
+#include "core/litmus_probe.h"
+#include "workload/suite.h"
+
+namespace litmus::cluster
+{
+
+void
+ClusterConfig::validate() const
+{
+    if (machines == 0)
+        fatal("ClusterConfig: need at least one machine");
+    if (arrivalsPerSecond <= 0)
+        fatal("ClusterConfig: arrival rate must be positive");
+    if (invocations == 0)
+        fatal("ClusterConfig: need at least one invocation");
+    if (epoch <= 0)
+        fatal("ClusterConfig: epoch must be positive");
+    if (keepAlive < 0)
+        fatal("ClusterConfig: negative keep-alive");
+    if (drainCap <= 0)
+        fatal("ClusterConfig: drain cap must be positive");
+    if (sharingFactor <= 0)
+        fatal("ClusterConfig: sharing factor must be positive");
+    machine.validate();
+}
+
+Seconds
+FleetReport::sumMachineBilledSeconds() const
+{
+    Seconds sum = 0;
+    for (const MachineReport &m : machines)
+        sum += m.billedCpuSeconds;
+    return sum;
+}
+
+/**
+ * One machine's serving state. The engine, the completion buffer, and
+ * the live-invocation map are written by the machine's epoch job (one
+ * worker thread at a time); everything else is touched only at the
+ * single-threaded dispatch/harvest barriers.
+ */
+struct Cluster::Machine
+{
+    /** What the fleet remembers about one live invocation. */
+    struct Live
+    {
+        const workload::FunctionSpec *spec = nullptr;
+        bool warm = false;
+    };
+
+    /** A completion captured during an epoch, folded in at harvest. */
+    struct Completed
+    {
+        const workload::FunctionSpec *spec = nullptr;
+        bool warm = false;
+        sim::TaskCounters counters;
+        sim::ProbeCapture probe;
+        Seconds launchTime = 0;
+        Seconds completionTime = 0;
+    };
+
+    Machine(unsigned idx, const ClusterConfig &cfg)
+        : index(idx), engine(cfg.machine), ledger(cfg.billing)
+    {
+        engine.onCompletion([this](sim::Task &task) {
+            const auto it = live.find(task.id());
+            if (it == live.end())
+                panic("cluster machine ", index,
+                      ": completion for unknown task ", task.id());
+            Completed done;
+            done.spec = it->second.spec;
+            done.warm = it->second.warm;
+            done.counters = task.counters();
+            done.probe = task.probe();
+            done.launchTime = task.launchTime();
+            done.completionTime = task.completionTime();
+            completed.push_back(std::move(done));
+            live.erase(it);
+        });
+    }
+
+    unsigned index;
+    sim::Engine engine;
+    pricing::BillingLedger ledger;
+
+    /** Task id -> invocation bookkeeping (worker-thread local). */
+    std::unordered_map<std::uint64_t, Live> live;
+
+    /** Completions buffered during the current epoch. */
+    std::vector<Completed> completed;
+
+    /** Idle warm containers: function name -> keep-alive expiries,
+     *  oldest first (consumed most-recently-used from the back). */
+    std::unordered_map<std::string, std::deque<Seconds>> warmIdle;
+
+    /** Memory committed to live invocations (admission control). */
+    Bytes committedMemory = 0;
+
+    std::uint64_t dispatched = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmStarts = 0;
+    std::uint64_t completions = 0;
+    double latencySum = 0;
+};
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    cfg_.validate();
+    if (cfg_.functionPool.empty())
+        cfg_.functionPool = workload::allFunctions();
+    dispatcher_ = makeDispatcher(cfg_.policy);
+    machines_.reserve(cfg_.machines);
+    for (unsigned i = 0; i < cfg_.machines; ++i)
+        machines_.push_back(std::make_unique<Machine>(i, cfg_));
+}
+
+Cluster::~Cluster() = default;
+
+const FleetReport &
+Cluster::report() const
+{
+    if (!ran_)
+        fatal("Cluster::report: run() has not completed");
+    return report_;
+}
+
+const sim::Engine &
+Cluster::engine(unsigned machine) const
+{
+    if (machine >= machines_.size())
+        fatal("Cluster::engine: no machine ", machine);
+    if (!ran_)
+        fatal("Cluster::engine: run() has not completed");
+    return machines_[machine]->engine;
+}
+
+const pricing::BillingLedger &
+Cluster::ledger(unsigned machine) const
+{
+    if (machine >= machines_.size())
+        fatal("Cluster::ledger: no machine ", machine);
+    if (!ran_)
+        fatal("Cluster::ledger: run() has not completed");
+    return machines_[machine]->ledger;
+}
+
+std::vector<MachineSnapshot>
+Cluster::snapshots() const
+{
+    std::vector<MachineSnapshot> out;
+    out.reserve(machines_.size());
+    for (const auto &m : machines_) {
+        MachineSnapshot snap;
+        snap.index = m->index;
+        snap.liveTasks = static_cast<unsigned>(m->engine.taskCount());
+        snap.committedMemory = m->committedMemory;
+        snap.memoryCapacity = cfg_.machine.memoryCapacity;
+        snap.warmIdle = &m->warmIdle;
+        out.push_back(snap);
+    }
+    return out;
+}
+
+void
+Cluster::dispatch(const Invocation &inv,
+                  std::vector<MachineSnapshot> &snapshots)
+{
+    unsigned chosen = dispatcher_->pick(inv, snapshots);
+    if (chosen >= machines_.size())
+        fatal("dispatcher returned machine ", chosen, " of ",
+              machines_.size());
+
+    const Bytes footprint = inv.spec->memoryFootprint;
+    if (!snapshots[chosen].fits(footprint)) {
+        // Spill to the machine with the most free memory; an overfull
+        // fleet rejects the arrival (a platform's 429).
+        Bytes bestFree = 0;
+        bool found = false;
+        for (const MachineSnapshot &snap : snapshots) {
+            const Bytes free =
+                snap.memoryCapacity - snap.committedMemory;
+            if (snap.fits(footprint) && free > bestFree) {
+                bestFree = free;
+                chosen = snap.index;
+                found = true;
+            }
+        }
+        if (!found) {
+            ++report_.rejectedMemory;
+            return;
+        }
+    }
+
+    Machine &m = *machines_[chosen];
+    auto warmPool = m.warmIdle.find(inv.spec->name);
+    const bool warm =
+        warmPool != m.warmIdle.end() && !warmPool->second.empty();
+
+    std::unique_ptr<workload::ProgramTask> task;
+    workload::InvocationOptions opts;
+    if (warm) {
+        // Reuse the most recently parked container (LIFO keeps the
+        // oldest entries at the front for expiry sweeps).
+        warmPool->second.pop_back();
+        if (warmPool->second.empty())
+            m.warmIdle.erase(warmPool);
+        task = workload::makeWarmInvocation(*inv.spec, rng_, opts);
+        ++m.warmStarts;
+        ++report_.warmStarts;
+    } else {
+        opts.withProbe = cfg_.probes;
+        task = workload::makeInvocation(*inv.spec, rng_, opts);
+        ++m.coldStarts;
+        ++report_.coldStarts;
+    }
+
+    sim::Task &handle = m.engine.add(std::move(task));
+    m.live.emplace(handle.id(),
+                   Machine::Live{inv.spec, warm});
+    m.committedMemory += footprint;
+    ++m.dispatched;
+    ++report_.dispatched;
+
+    // Keep the batch's snapshots current: no completions happen
+    // between dispatches, so incremental updates are exact.
+    snapshots[chosen].liveTasks += 1;
+    snapshots[chosen].committedMemory = m.committedMemory;
+}
+
+void
+Cluster::harvest(Seconds now)
+{
+    for (const auto &mp : machines_) {
+        Machine &m = *mp;
+        for (const Machine::Completed &done : m.completed) {
+            // A default estimate (rates of 1) bills commercially; a
+            // cold invocation with a completed Litmus probe earns the
+            // model's discounted rates.
+            pricing::DiscountEstimate estimate;
+            if (cfg_.discountModel && !done.warm &&
+                done.probe.complete) {
+                estimate = cfg_.discountModel->estimate(
+                    pricing::readProbe(done.probe),
+                    done.spec->language, cfg_.sharingFactor);
+            }
+            const pricing::PriceQuote quote =
+                pricing::quoteWithEstimate(done.counters, estimate);
+
+            m.ledger.record(workload::languageName(done.spec->language),
+                            done.spec->name, done.counters, quote,
+                            done.spec->memoryFootprint);
+
+            // Fleet accumulation is independent of the ledgers; the
+            // conservation test compares the two.
+            report_.billedCpuSeconds +=
+                done.counters.cycles / cfg_.billing.billingFrequency;
+            ++report_.completions;
+            ++m.completions;
+            const double latency =
+                done.completionTime - done.launchTime;
+            m.latencySum += latency;
+            latencySum_ += latency;
+            m.committedMemory -= done.spec->memoryFootprint;
+
+            // The container goes idle-warm until its keep-alive ends.
+            m.warmIdle[done.spec->name].push_back(done.completionTime +
+                                                  cfg_.keepAlive);
+        }
+        m.completed.clear();
+
+        // Expire idle containers whose keep-alive has lapsed.
+        for (auto it = m.warmIdle.begin(); it != m.warmIdle.end();) {
+            std::deque<Seconds> &pool = it->second;
+            while (!pool.empty() && pool.front() <= now)
+                pool.pop_front();
+            it = pool.empty() ? m.warmIdle.erase(it) : std::next(it);
+        }
+    }
+}
+
+const FleetReport &
+Cluster::run()
+{
+    if (ran_)
+        fatal("Cluster::run called twice");
+
+    // The arrival trace is generated up front so traffic is identical
+    // across dispatch policies and thread counts.
+    std::vector<Invocation> trace;
+    trace.reserve(cfg_.invocations);
+    Seconds at = 0;
+    for (std::uint64_t i = 0; i < cfg_.invocations; ++i) {
+        at += rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
+        Invocation inv;
+        inv.spec = cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
+        inv.arrival = at;
+        inv.seq = i;
+        trace.push_back(inv);
+    }
+    report_.arrivals = trace.size();
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned threads =
+        cfg_.threads > 0
+            ? cfg_.threads
+            : std::min(static_cast<unsigned>(machines_.size()), hw);
+    EpochPool pool(threads);
+
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(machines_.size());
+    for (const auto &m : machines_) {
+        Machine *machine = m.get();
+        jobs.emplace_back(
+            [machine, this] { machine->engine.run(cfg_.epoch); });
+    }
+
+    const auto anyLive = [this] {
+        return std::any_of(machines_.begin(), machines_.end(),
+                           [](const auto &m) {
+                               return m->engine.taskCount() > 0;
+                           });
+    };
+
+    // The drain cap bounds time past the end of the trace, so long
+    // (low-rate or million-invocation) traces never trip it while
+    // arrivals are still due.
+    const Seconds lastArrival = trace.back().arrival;
+
+    std::size_t next = 0;
+    Seconds now = 0;
+    while (next < trace.size() || anyLive()) {
+        if (now > lastArrival + cfg_.drainCap)
+            fatal("Cluster::run: fleet failed to drain within ",
+                  cfg_.drainCap, " simulated seconds of the last "
+                  "arrival");
+        pool.run(jobs);
+        // All engines execute the same quantum count, so machine 0's
+        // clock is the fleet clock (exact, no re-accumulated drift).
+        now = machines_.front()->engine.now();
+        harvest(now);
+        // Arrivals are dispatched at the first epoch boundary at or
+        // after their arrival time (never early), with warm containers
+        // parked by this epoch's completions already visible. One
+        // snapshot set serves the whole batch (dispatch keeps it
+        // current).
+        if (next < trace.size() && trace[next].arrival <= now) {
+            auto snaps = snapshots();
+            while (next < trace.size() &&
+                   trace[next].arrival <= now) {
+                dispatch(trace[next], snaps);
+                ++next;
+            }
+        }
+    }
+
+    report_.makespan = now;
+    report_.meanLatency = report_.completions > 0
+                              ? latencySum_ / report_.completions
+                              : 0.0;
+    report_.commercialUsd = 0;
+    report_.litmusUsd = 0;
+    report_.machines.clear();
+    report_.machines.reserve(machines_.size());
+    for (const auto &mp : machines_) {
+        const Machine &m = *mp;
+        MachineReport mr;
+        mr.index = m.index;
+        mr.dispatched = m.dispatched;
+        mr.coldStarts = m.coldStarts;
+        mr.warmStarts = m.warmStarts;
+        mr.completions = m.completions;
+        for (const pricing::BillRecord &rec : m.ledger.records())
+            mr.billedCpuSeconds += rec.cpuSeconds;
+        mr.commercialUsd = m.ledger.totalCommercialUsd();
+        mr.litmusUsd = m.ledger.totalLitmusUsd();
+        mr.meanLatency =
+            m.completions > 0 ? m.latencySum / m.completions : 0.0;
+        mr.quanta = m.engine.stats().quanta.value();
+        report_.commercialUsd += mr.commercialUsd;
+        report_.litmusUsd += mr.litmusUsd;
+        report_.machines.push_back(mr);
+    }
+
+    ran_ = true;
+    return report_;
+}
+
+} // namespace litmus::cluster

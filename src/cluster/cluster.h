@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Fleet-scale serving layer: N simulated machines behind one dispatcher.
+ *
+ * The Litmus paper prices invocations on a single co-located server;
+ * production platforms serve the same traffic from fleets. A Cluster
+ * owns one sim::Engine per machine, generates an open-loop Poisson
+ * arrival stream at fleet rates (tens of thousands to millions of
+ * invocations), routes every arrival through a pluggable Dispatcher,
+ * and aggregates per-machine billing into one fleet revenue/discount
+ * report.
+ *
+ * Execution advances in dispatch epochs: every engine runs one epoch
+ * on a worker pool (one job per machine, barrier at the end — engines
+ * are independent between dispatch decisions, so wall-clock scales
+ * with cores), completions are folded back into warm pools and
+ * ledgers in machine order, and then the cluster (single-threaded)
+ * routes the arrivals that came due, using machine snapshots taken at
+ * the barrier — an invocation starts at the first epoch boundary at
+ * or after its arrival, never early. All cross-thread state is
+ * epoch-local, so a fixed seed gives bit-identical fleet totals at
+ * any thread count.
+ *
+ * Warm containers: every completed invocation leaves one idle warm
+ * container behind (keep-alive bounded). A dispatch that finds one
+ * skips the language startup — the dominant cold-start cost — which
+ * is what the warmth-aware policy exploits.
+ */
+
+#ifndef LITMUS_CLUSTER_CLUSTER_H
+#define LITMUS_CLUSTER_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "core/billing.h"
+#include "core/discount_model.h"
+#include "sim/engine.h"
+
+namespace litmus::cluster
+{
+
+/** Fleet configuration. */
+struct ClusterConfig
+{
+    /** Machines in the fleet. */
+    unsigned machines = 4;
+
+    /** Per-machine hardware description (homogeneous fleet). */
+    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218();
+
+    /** Routing policy. */
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+
+    /** @name Open-loop fleet traffic @{ */
+    /** Fleet-wide mean arrival rate (invocations per second). */
+    double arrivalsPerSecond = 2000.0;
+
+    /** Total arrivals to generate. */
+    std::uint64_t invocations = 10000;
+
+    /** Sampling pool (defaults to the whole Table 1 suite). */
+    std::vector<const workload::FunctionSpec *> functionPool;
+
+    /** Seed for the arrival trace and per-invocation jitter. */
+    std::uint64_t seed = 1;
+    /** @} */
+
+    /** @name Serving model @{ */
+    /** Dispatch epoch: barrier period between routing decisions. */
+    Seconds epoch = 1e-3;
+
+    /** Warm-container keep-alive after an invocation completes. */
+    Seconds keepAlive = 10.0;
+
+    /** Attach Litmus probes to cold invocations. */
+    bool probes = false;
+
+    /**
+     * Worker threads driving the engines (0 = one per machine, capped
+     * by the host's hardware concurrency; 1 = fully serial). Totals
+     * are identical at every setting.
+     */
+    unsigned threads = 0;
+
+    /**
+     * Simulated seconds the fleet may keep running past the last
+     * arrival; fatal() if it fails to drain by then. Relative to the
+     * trace end, so long traces (low rates, millions of invocations)
+     * never trip it while arrivals are still due.
+     */
+    Seconds drainCap = 600.0;
+    /** @} */
+
+    /** @name Fleet billing @{ */
+    /**
+     * Optional calibrated discount model: cold invocations carrying a
+     * completed Litmus probe are charged the Litmus price; warm and
+     * unprobed invocations pay the commercial price. Borrowed; must
+     * outlive the cluster. Null = commercial pricing everywhere.
+     */
+    const pricing::DiscountModel *discountModel = nullptr;
+
+    /** Method 1 sharing factor for Litmus quotes. */
+    double sharingFactor = 1.0;
+
+    pricing::BillingConfig billing;
+    /** @} */
+
+    void validate() const;
+};
+
+/** Per-machine slice of the fleet report. */
+struct MachineReport
+{
+    unsigned index = 0;
+
+    std::uint64_t dispatched = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmStarts = 0;
+    std::uint64_t completions = 0;
+
+    /** Billed on-CPU seconds (sum over the machine's ledger). */
+    Seconds billedCpuSeconds = 0;
+
+    /** Charges in USD. */
+    double commercialUsd = 0;
+    double litmusUsd = 0;
+
+    /** Mean dispatch-to-completion latency (seconds). */
+    double meanLatency = 0;
+
+    /** Quanta the machine's engine executed. */
+    double quanta = 0;
+};
+
+/** Fleet-wide aggregation. */
+struct FleetReport
+{
+    std::vector<MachineReport> machines;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t rejectedMemory = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmStarts = 0;
+
+    /**
+     * Fleet billed on-CPU seconds, accumulated independently of the
+     * per-machine ledgers (conservation: equals the sum over machines
+     * up to floating-point association).
+     */
+    Seconds billedCpuSeconds = 0;
+
+    /** Fleet charges in USD. */
+    double commercialUsd = 0;
+    double litmusUsd = 0;
+
+    /** Mean dispatch-to-completion latency across the fleet. */
+    double meanLatency = 0;
+
+    /** Simulated time until the fleet drained. */
+    Seconds makespan = 0;
+
+    /** Aggregate fleet discount (1 - litmus/commercial revenue). */
+    double discount() const
+    {
+        return commercialUsd > 0 ? 1.0 - litmusUsd / commercialUsd : 0.0;
+    }
+
+    /** Served throughput in invocations per simulated second. */
+    double throughput() const
+    {
+        return makespan > 0 ? static_cast<double>(completions) / makespan
+                            : 0.0;
+    }
+
+    /** Cold starts as a fraction of dispatches. */
+    double coldStartRate() const
+    {
+        return dispatched > 0
+                   ? static_cast<double>(coldStarts) / dispatched
+                   : 0.0;
+    }
+
+    /** Sum of per-machine billed seconds (conservation checks). */
+    Seconds sumMachineBilledSeconds() const;
+};
+
+/**
+ * The fleet: engines, dispatcher, traffic, billing.
+ *
+ * Single-shot: construct, run(), read the report.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(ClusterConfig cfg);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /**
+     * Generate the arrival trace, serve it to completion (drain), and
+     * return the fleet report. May be called once.
+     */
+    const FleetReport &run();
+
+    /** The report (valid after run()). */
+    const FleetReport &report() const;
+
+    /** One machine's engine (inspection; valid after run()). */
+    const sim::Engine &engine(unsigned machine) const;
+
+    /** One machine's billing ledger (valid after run()). */
+    const pricing::BillingLedger &ledger(unsigned machine) const;
+
+    const ClusterConfig &config() const { return cfg_; }
+
+  private:
+    struct Machine;
+
+    /** Dispatcher view of every machine, taken at an epoch barrier. */
+    std::vector<MachineSnapshot> snapshots() const;
+
+    /**
+     * Route and launch one arrival; updates @p snapshots in place so
+     * one snapshot set serves a whole dispatch batch.
+     */
+    void dispatch(const Invocation &inv,
+                  std::vector<MachineSnapshot> &snapshots);
+
+    /** Fold one epoch's completions into warm pools and ledgers. */
+    void harvest(Seconds now);
+
+    ClusterConfig cfg_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+    std::vector<std::unique_ptr<Machine>> machines_;
+    Rng rng_;
+    FleetReport report_;
+    double latencySum_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace litmus::cluster
+
+#endif // LITMUS_CLUSTER_CLUSTER_H

@@ -1,0 +1,154 @@
+#include "cluster/dispatcher.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace litmus::cluster
+{
+
+std::string
+policyName(DispatchPolicy policy)
+{
+    switch (policy) {
+    case DispatchPolicy::RoundRobin:
+        return "round-robin";
+    case DispatchPolicy::LeastLoaded:
+        return "least-loaded";
+    case DispatchPolicy::WarmthAware:
+        return "warmth-aware";
+    }
+    fatal("policyName: unknown policy");
+}
+
+DispatchPolicy
+policyByName(const std::string &name)
+{
+    if (name == "round-robin" || name == "roundrobin" || name == "rr")
+        return DispatchPolicy::RoundRobin;
+    if (name == "least-loaded" || name == "leastloaded" || name == "ll")
+        return DispatchPolicy::LeastLoaded;
+    if (name == "warmth-aware" || name == "warmth")
+        return DispatchPolicy::WarmthAware;
+    fatal("policyByName: unknown dispatch policy '", name,
+          "' (want round-robin | least-loaded | warmth-aware)");
+}
+
+const std::vector<DispatchPolicy> &
+allPolicies()
+{
+    static const std::vector<DispatchPolicy> policies = {
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::WarmthAware,
+    };
+    return policies;
+}
+
+std::size_t
+MachineSnapshot::warmIdleFor(const std::string &function) const
+{
+    if (!warmIdle)
+        return 0;
+    const auto it = warmIdle->find(function);
+    return it == warmIdle->end() ? 0 : it->second.size();
+}
+
+namespace
+{
+
+/** Least live tasks; ties go to the lowest machine index. */
+unsigned
+leastLoadedIndex(const std::vector<MachineSnapshot> &machines)
+{
+    unsigned best = 0;
+    unsigned bestLoad = std::numeric_limits<unsigned>::max();
+    for (const MachineSnapshot &m : machines) {
+        if (m.liveTasks < bestLoad) {
+            bestLoad = m.liveTasks;
+            best = m.index;
+        }
+    }
+    return best;
+}
+
+class RoundRobinDispatcher final : public Dispatcher
+{
+  public:
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::RoundRobin;
+    }
+
+    unsigned pick(const Invocation &,
+                  const std::vector<MachineSnapshot> &machines) override
+    {
+        return static_cast<unsigned>(next_++ % machines.size());
+    }
+
+  private:
+    std::uint64_t next_ = 0;
+};
+
+class LeastLoadedDispatcher final : public Dispatcher
+{
+  public:
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::LeastLoaded;
+    }
+
+    unsigned pick(const Invocation &,
+                  const std::vector<MachineSnapshot> &machines) override
+    {
+        return leastLoadedIndex(machines);
+    }
+};
+
+class WarmthAwareDispatcher final : public Dispatcher
+{
+  public:
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::WarmthAware;
+    }
+
+    unsigned pick(const Invocation &inv,
+                  const std::vector<MachineSnapshot> &machines) override
+    {
+        // Among machines holding an idle warm container for this
+        // function, take the least loaded; a cold fleet falls back to
+        // plain least-loaded placement.
+        unsigned best = 0;
+        unsigned bestLoad = std::numeric_limits<unsigned>::max();
+        bool found = false;
+        for (const MachineSnapshot &m : machines) {
+            if (m.warmIdleFor(inv.spec->name) == 0)
+                continue;
+            if (m.liveTasks < bestLoad) {
+                bestLoad = m.liveTasks;
+                best = m.index;
+                found = true;
+            }
+        }
+        return found ? best : leastLoadedIndex(machines);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(DispatchPolicy policy)
+{
+    switch (policy) {
+    case DispatchPolicy::RoundRobin:
+        return std::make_unique<RoundRobinDispatcher>();
+    case DispatchPolicy::LeastLoaded:
+        return std::make_unique<LeastLoadedDispatcher>();
+    case DispatchPolicy::WarmthAware:
+        return std::make_unique<WarmthAwareDispatcher>();
+    }
+    fatal("makeDispatcher: unknown policy");
+}
+
+} // namespace litmus::cluster

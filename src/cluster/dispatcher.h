@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fleet dispatch policies: routing one arrival to one machine.
+ *
+ * The cluster presents each dispatcher with a snapshot of every
+ * machine (live tasks, committed memory, warm-container inventory)
+ * taken at the current dispatch epoch's barrier, so decisions are
+ * deterministic regardless of how many worker threads advance the
+ * engines between barriers.
+ *
+ * Three policies ship:
+ *  - RoundRobin:   rotate through machines, ignoring state;
+ *  - LeastLoaded:  fewest live tasks wins (ties to the lowest index);
+ *  - WarmthAware:  prefer machines holding an idle warm container for
+ *    the function (skipping its language startup entirely), falling
+ *    back to least-loaded when everyone is cold.
+ */
+
+#ifndef LITMUS_CLUSTER_DISPATCHER_H
+#define LITMUS_CLUSTER_DISPATCHER_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/function_model.h"
+
+namespace litmus::cluster
+{
+
+/** The routing policies the fleet layer supports. */
+enum class DispatchPolicy
+{
+    RoundRobin,
+    LeastLoaded,
+    WarmthAware,
+};
+
+/** Display name: "round-robin" / "least-loaded" / "warmth-aware". */
+std::string policyName(DispatchPolicy policy);
+
+/** Parse a policy name (also accepts "rr" / "ll" / "warmth"). */
+DispatchPolicy policyByName(const std::string &name);
+
+/** One fleet arrival awaiting dispatch. */
+struct Invocation
+{
+    const workload::FunctionSpec *spec = nullptr;
+
+    /** Arrival timestamp in fleet simulated time. */
+    Seconds arrival = 0;
+
+    /** Arrival sequence number (stable tie-breaking / tracing). */
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Dispatcher view of one machine at a dispatch barrier.
+ *
+ * The warm-container inventory is borrowed from the cluster (idle
+ * containers per function name, each entry a keep-alive expiry time);
+ * snapshots are only valid during the pick() call.
+ */
+struct MachineSnapshot
+{
+    unsigned index = 0;
+
+    /** Live (queued or running) tasks on the machine. */
+    unsigned liveTasks = 0;
+
+    /** Memory committed to live invocations. */
+    Bytes committedMemory = 0;
+
+    /** The machine's main-memory capacity. */
+    Bytes memoryCapacity = 0;
+
+    /** Idle warm containers: function name -> keep-alive expiries. */
+    const std::unordered_map<std::string, std::deque<Seconds>>
+        *warmIdle = nullptr;
+
+    /** Idle warm containers available for the named function. */
+    std::size_t warmIdleFor(const std::string &function) const;
+
+    /** True when the machine can admit the given footprint. */
+    bool fits(Bytes footprint) const
+    {
+        return committedMemory + footprint <= memoryCapacity;
+    }
+};
+
+/** Routing strategy interface. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    virtual DispatchPolicy policy() const = 0;
+
+    /**
+     * Choose the machine index for one invocation. @p machines is
+     * never empty; implementations must return a valid index.
+     */
+    virtual unsigned pick(const Invocation &inv,
+                          const std::vector<MachineSnapshot> &machines) = 0;
+};
+
+/** Factory for the built-in policies. */
+std::unique_ptr<Dispatcher> makeDispatcher(DispatchPolicy policy);
+
+/** All built-in policies, in a stable order (bench sweeps). */
+const std::vector<DispatchPolicy> &allPolicies();
+
+} // namespace litmus::cluster
+
+#endif // LITMUS_CLUSTER_DISPATCHER_H

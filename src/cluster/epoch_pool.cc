@@ -1,0 +1,104 @@
+#include "cluster/epoch_pool.h"
+
+#include "common/logging.h"
+
+namespace litmus::cluster
+{
+
+EpochPool::EpochPool(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0)
+        fatal("EpochPool: need at least one thread");
+    // One thread means inline execution; no workers to park.
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+EpochPool::~EpochPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+EpochPool::drain(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.total)
+            return;
+        // The jobs vector outlives every in-range claim: run() only
+        // returns (and the caller's vector only dies) after pending
+        // reaches zero, which needs this job to finish first.
+        (*batch.jobs)[i]();
+        if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batchDone_.notify_all();
+        }
+    }
+}
+
+void
+EpochPool::run(const std::vector<std::function<void()>> &jobs)
+{
+    if (jobs.empty())
+        return;
+    if (workers_.empty() || jobs.size() == 1) {
+        for (const auto &job : jobs)
+            job();
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->jobs = &jobs;
+    batch->total = jobs.size();
+    batch->pending.store(jobs.size(), std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = batch;
+        ++generation_;
+    }
+    workReady_.notify_all();
+
+    // The caller participates: it drains jobs alongside the workers,
+    // so a pool of N threads uses N CPUs, not N - 1.
+    drain(*batch);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [&batch] {
+        return batch->pending.load(std::memory_order_acquire) == 0;
+    });
+    batch_ = nullptr;
+}
+
+void
+EpochPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            batch = batch_;
+        }
+        // The batch may already be finished and detached (we woke
+        // late); the shared_ptr keeps the claim counters valid and
+        // drain() then exits without touching the jobs vector.
+        if (batch)
+            drain(*batch);
+    }
+}
+
+} // namespace litmus::cluster

@@ -14,6 +14,31 @@ PricingEngine::PricingEngine(const DiscountModel &model,
 }
 
 PriceQuote
+quoteWithEstimate(const sim::TaskCounters &counters,
+                  const DiscountEstimate &estimate)
+{
+    PriceQuote q;
+    q.estimate = estimate;
+
+    const double tPriv = counters.privateCycles();
+    const double tShared = counters.stallSharedCycles;
+
+    q.commercial = tPriv + tShared;
+
+    q.litmusPriv = estimate.rPrivate * tPriv;
+    q.litmusShared = estimate.rShared * tShared;
+    q.litmus = q.litmusPriv + q.litmusShared;
+
+    // No oracle here: the ideal lane mirrors commercial until a solo
+    // baseline overwrites it.
+    q.ideal = q.commercial;
+    q.idealPriv = tPriv;
+    q.idealShared = tShared;
+
+    return q;
+}
+
+PriceQuote
 PricingEngine::quote(const sim::TaskCounters &counters,
                      const ProbeReading &probe, workload::Language lang,
                      const SoloBaseline &solo) const
@@ -21,17 +46,8 @@ PricingEngine::quote(const sim::TaskCounters &counters,
     if (counters.instructions <= 0)
         fatal("PricingEngine::quote: no instructions retired");
 
-    PriceQuote q;
-    q.estimate = model_.estimate(probe, lang, sharingFactor_);
-
-    const double tPriv = counters.privateCycles();
-    const double tShared = counters.stallSharedCycles;
-
-    q.commercial = tPriv + tShared;
-
-    q.litmusPriv = q.estimate.rPrivate * tPriv;
-    q.litmusShared = q.estimate.rShared * tShared;
-    q.litmus = q.litmusPriv + q.litmusShared;
+    PriceQuote q = quoteWithEstimate(
+        counters, model_.estimate(probe, lang, sharingFactor_));
 
     // Ideal: what this invocation would have cost alone — solo CPI
     // times the instructions it actually retired.

@@ -58,6 +58,17 @@ struct PriceQuote
 };
 
 /**
+ * Price measured counters with an already-computed discount estimate:
+ * commercial = measured cycles, Litmus = R_private * T_private +
+ * R_shared * T_shared. No solo oracle is involved, so the ideal lane
+ * mirrors the commercial one (a default-constructed estimate prices
+ * everything commercially — rates of 1). This is the shared primitive
+ * behind PricingEngine::quote and the fleet ledgers.
+ */
+PriceQuote quoteWithEstimate(const sim::TaskCounters &counters,
+                             const DiscountEstimate &estimate);
+
+/**
  * Prices invocations with a calibrated discount model.
  */
 class PricingEngine

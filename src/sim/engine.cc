@@ -50,6 +50,7 @@ Engine::add(std::unique_ptr<Task> task)
     }
     Task &ref = *task;
     scheduler_.add(task.get());
+    liveIds_.insert(ref.id());
     tasks_.push_back(std::move(task));
     return ref;
 }
@@ -63,8 +64,7 @@ Engine::alive(const Task &task) const
 bool
 Engine::aliveId(std::uint64_t id) const
 {
-    return std::any_of(tasks_.begin(), tasks_.end(),
-                       [&](const auto &t) { return t->id() == id; });
+    return liveIds_.contains(id);
 }
 
 std::vector<Task *>
@@ -80,8 +80,15 @@ Engine::liveTasks()
 void
 Engine::run(Seconds duration)
 {
-    const Seconds end = now_ + duration;
-    while (now_ < end - 1e-12)
+    if (duration < 0)
+        fatal("Engine::run: negative duration");
+    // Count quanta as an integer: accumulated floating-point time
+    // drifts after millions of quanta and would drop or add a whole
+    // quantum against an absolute end-time comparison. The epsilon
+    // keeps exact multiples (duration == n * quantum) at n quanta.
+    const auto quanta = static_cast<std::uint64_t>(
+        std::ceil(duration / quantum_ - 1e-9));
+    for (std::uint64_t i = 0; i < quanta; ++i)
         step();
 }
 
@@ -168,8 +175,18 @@ Engine::step()
         }
 
         totalRunning += static_cast<unsigned>(runningTasks.size());
-        if (solved.shared.memUtilization >=
-            observedState.memUtilization) {
+        // Hottest-domain view: strictly hotter sockets win (an idle
+        // later socket must not overwrite a busy earlier one at equal
+        // DRAM utilization); ties break on L3-path utilization, and
+        // socket 0 seeds the view so single-socket behaviour is
+        // unchanged.
+        if (socket == 0 ||
+            solved.shared.memUtilization >
+                observedState.memUtilization ||
+            (solved.shared.memUtilization ==
+                 observedState.memUtilization &&
+             solved.shared.l3Utilization >
+                 observedState.l3Utilization)) {
             observedState = solved.shared;
         }
         stats_.l3Utilization.sample(solved.shared.l3Utilization);
@@ -285,6 +302,7 @@ Engine::reapFinished()
         stats_.completions.add();
         stats_.instructions.add(task->counters().instructions);
         scheduler_.remove(task);
+        liveIds_.erase(task->id());
         // Move ownership out before the callback so the callback may
         // add new tasks (invoker churn) without invalidating iterators.
         std::unique_ptr<Task> owned = std::move(tasks_[i]);

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats_registry.h"
@@ -153,6 +154,8 @@ class Engine
     Hertz lastFrequency_;
     MachineCounters machine_;
     std::vector<std::unique_ptr<Task>> tasks_;
+    /** Ids of live tasks, so alive checks in run loops stay O(1). */
+    std::unordered_set<std::uint64_t> liveIds_;
     std::vector<CompletionCallback> completionCbs_;
     std::vector<QuantumObserver> quantumCbs_;
     std::uint64_t nextTaskId_ = 1;

@@ -62,6 +62,20 @@ makeInvocation(const FunctionSpec &spec, Rng &rng,
 }
 
 std::unique_ptr<ProgramTask>
+makeWarmInvocation(const FunctionSpec &spec, Rng &rng,
+                   const InvocationOptions &opts)
+{
+    spec.validate();
+    PhaseProgram program;
+    for (const Phase &phase : spec.body) {
+        program.append(jitterPhase(phase, rng, opts.instructionJitter,
+                                   opts.memoryJitter));
+    }
+    return std::make_unique<ProgramTask>(spec.name, std::move(program),
+                                         sim::Task::noProbe);
+}
+
+std::unique_ptr<ProgramTask>
 makeNominalInvocation(const FunctionSpec &spec, bool with_probe)
 {
     spec.validate();

@@ -90,6 +90,17 @@ std::unique_ptr<ProgramTask> makeInvocation(const FunctionSpec &spec,
 std::unique_ptr<ProgramTask> makeNominalInvocation(
     const FunctionSpec &spec, bool with_probe = true);
 
+/**
+ * Instantiate a warm-start invocation: the runtime is already
+ * initialized (a kept-alive container), so the language startup — and
+ * with it the Litmus probe, whose substrate is the startup — is
+ * skipped. Only the jittered body phases run.
+ */
+std::unique_ptr<ProgramTask> makeWarmInvocation(const FunctionSpec &spec,
+                                                Rng &rng,
+                                                const InvocationOptions &opts =
+                                                    InvocationOptions{});
+
 } // namespace litmus::workload
 
 #endif // LITMUS_WORKLOAD_FUNCTION_MODEL_H

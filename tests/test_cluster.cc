@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the fleet serving layer: dispatch policies, open-loop
+ * fan-in, warm-container reuse, billing conservation, and determinism
+ * of the threaded epoch runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/calibration.h"
+#include "workload/suite.h"
+
+namespace litmus::cluster
+{
+namespace
+{
+
+using workload::FunctionSpec;
+using workload::GeneratorKind;
+using workload::Language;
+
+/** Small fast functions (Go startup is the shortest) for fleet runs. */
+const std::vector<FunctionSpec> &
+tinySuite()
+{
+    static const std::vector<FunctionSpec> suite = [] {
+        std::vector<FunctionSpec> fns;
+        for (const char *name : {"alpha-go", "beta-go"}) {
+            FunctionSpec spec;
+            spec.name = name;
+            spec.language = Language::Go;
+            workload::Phase body;
+            body.name = "body";
+            body.instructions = 3_Minstr;
+            body.demand.cpi0 = 0.8;
+            body.demand.l2Mpki = 4.0;
+            body.demand.l3WorkingSet = 2_MiB;
+            body.demand.l3MissBase = 0.2;
+            body.demand.mlp = 4.0;
+            spec.body = {body};
+            spec.memoryFootprint = 256_MiB;
+            fns.push_back(spec);
+        }
+        return fns;
+    }();
+    return suite;
+}
+
+std::vector<const FunctionSpec *>
+tinyPool()
+{
+    std::vector<const FunctionSpec *> pool;
+    for (const FunctionSpec &spec : tinySuite())
+        pool.push_back(&spec);
+    return pool;
+}
+
+ClusterConfig
+smallFleet(unsigned machines, DispatchPolicy policy,
+           std::uint64_t invocations = 200)
+{
+    ClusterConfig cfg;
+    cfg.machines = machines;
+    cfg.policy = policy;
+    cfg.machine = sim::MachineConfig::cascadeLake5218();
+    cfg.machine.cores = 8;
+    cfg.arrivalsPerSecond = 4000;
+    cfg.invocations = invocations;
+    cfg.functionPool = tinyPool();
+    cfg.seed = 11;
+    cfg.threads = 1;
+    return cfg;
+}
+
+TEST(DispatchPolicyNames, RoundTripAndAliases)
+{
+    for (DispatchPolicy policy : allPolicies())
+        EXPECT_EQ(policyByName(policyName(policy)), policy);
+    EXPECT_EQ(policyByName("rr"), DispatchPolicy::RoundRobin);
+    EXPECT_EQ(policyByName("ll"), DispatchPolicy::LeastLoaded);
+    EXPECT_EQ(policyByName("warmth"), DispatchPolicy::WarmthAware);
+    EXPECT_EXIT(policyByName("fastest"), ::testing::ExitedWithCode(1),
+                "unknown dispatch policy");
+}
+
+TEST(ClusterConfig, ValidateCatchesNonsense)
+{
+    ClusterConfig cfg;
+    cfg.machines = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "machine");
+    cfg = ClusterConfig{};
+    cfg.arrivalsPerSecond = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "rate");
+    cfg = ClusterConfig{};
+    cfg.invocations = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "invocation");
+    cfg = ClusterConfig{};
+    cfg.epoch = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "epoch");
+}
+
+std::vector<MachineSnapshot>
+snapshots(const std::vector<unsigned> &loads)
+{
+    std::vector<MachineSnapshot> out;
+    for (unsigned i = 0; i < loads.size(); ++i) {
+        MachineSnapshot snap;
+        snap.index = i;
+        snap.liveTasks = loads[i];
+        snap.memoryCapacity = 1_GiB;
+        out.push_back(snap);
+    }
+    return out;
+}
+
+Invocation
+arrival(const FunctionSpec &spec)
+{
+    Invocation inv;
+    inv.spec = &spec;
+    return inv;
+}
+
+TEST(Dispatcher, RoundRobinCycles)
+{
+    auto rr = makeDispatcher(DispatchPolicy::RoundRobin);
+    const auto machines = snapshots({5, 0, 0});
+    const Invocation inv = arrival(tinySuite()[0]);
+    EXPECT_EQ(rr->pick(inv, machines), 0u);
+    EXPECT_EQ(rr->pick(inv, machines), 1u);
+    EXPECT_EQ(rr->pick(inv, machines), 2u);
+    EXPECT_EQ(rr->pick(inv, machines), 0u);
+}
+
+TEST(Dispatcher, LeastLoadedPicksMinWithStableTies)
+{
+    auto ll = makeDispatcher(DispatchPolicy::LeastLoaded);
+    const Invocation inv = arrival(tinySuite()[0]);
+    EXPECT_EQ(ll->pick(inv, snapshots({3, 1, 2})), 1u);
+    // Ties go to the lowest index.
+    EXPECT_EQ(ll->pick(inv, snapshots({2, 1, 1})), 1u);
+    EXPECT_EQ(ll->pick(inv, snapshots({0, 0, 0})), 0u);
+}
+
+TEST(Dispatcher, WarmthAwarePrefersWarmThenFallsBack)
+{
+    auto warmth = makeDispatcher(DispatchPolicy::WarmthAware);
+    const Invocation inv = arrival(tinySuite()[0]);
+
+    std::unordered_map<std::string, std::deque<Seconds>> warm;
+    warm[tinySuite()[0].name].push_back(1.0);
+
+    // Machine 2 is warm for the function: chosen despite higher load.
+    auto machines = snapshots({1, 0, 4});
+    machines[2].warmIdle = &warm;
+    EXPECT_EQ(warmth->pick(inv, machines), 2u);
+    EXPECT_EQ(machines[2].warmIdleFor(inv.spec->name), 1u);
+
+    // Warm for a different function only: fall back to least-loaded.
+    const Invocation other = arrival(tinySuite()[1]);
+    EXPECT_EQ(warmth->pick(other, machines), 1u);
+
+    // Cold fleet: least-loaded.
+    EXPECT_EQ(warmth->pick(inv, snapshots({2, 2, 1})), 2u);
+}
+
+TEST(Cluster, ServesAllArrivalsAndReports)
+{
+    Cluster fleet(smallFleet(3, DispatchPolicy::LeastLoaded));
+    const FleetReport &report = fleet.run();
+
+    EXPECT_EQ(report.arrivals, 200u);
+    EXPECT_EQ(report.dispatched, 200u);
+    EXPECT_EQ(report.completions, 200u);
+    EXPECT_EQ(report.coldStarts + report.warmStarts,
+              report.dispatched);
+    EXPECT_EQ(report.rejectedMemory, 0u);
+    EXPECT_GT(report.makespan, 0.0);
+    EXPECT_GT(report.meanLatency, 0.0);
+    EXPECT_GT(report.billedCpuSeconds, 0.0);
+
+    ASSERT_EQ(report.machines.size(), 3u);
+    std::uint64_t dispatched = 0, completions = 0;
+    for (const MachineReport &m : report.machines) {
+        dispatched += m.dispatched;
+        completions += m.completions;
+        EXPECT_GT(m.quanta, 0.0);
+    }
+    EXPECT_EQ(dispatched, report.dispatched);
+    EXPECT_EQ(completions, report.completions);
+
+    // Every machine drained.
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_EQ(fleet.engine(i).taskCount(), 0u);
+}
+
+TEST(Cluster, BilledTimeConservedAcrossAggregation)
+{
+    Cluster fleet(smallFleet(4, DispatchPolicy::WarmthAware, 300));
+    const FleetReport &report = fleet.run();
+
+    // Fleet billed time is accumulated independently of the ledgers;
+    // the two aggregations must agree.
+    const Seconds perMachine = report.sumMachineBilledSeconds();
+    EXPECT_NEAR(report.billedCpuSeconds, perMachine,
+                1e-9 * report.billedCpuSeconds);
+
+    // And the ledgers are the machine reports' source of truth.
+    double commercial = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        commercial += fleet.ledger(i).totalCommercialUsd();
+    EXPECT_DOUBLE_EQ(commercial, report.commercialUsd);
+}
+
+/** Totals that must be bit-identical between equivalent runs. */
+struct Totals
+{
+    Seconds billed;
+    std::uint64_t cold;
+    std::uint64_t completions;
+    double commercial;
+    double latency;
+    Seconds makespan;
+};
+
+Totals
+totalsOf(const FleetReport &report)
+{
+    return {report.billedCpuSeconds, report.coldStarts,
+            report.completions,      report.commercialUsd,
+            report.meanLatency,      report.makespan};
+}
+
+void
+expectIdentical(const Totals &a, const Totals &b)
+{
+    EXPECT_EQ(a.billed, b.billed);
+    EXPECT_EQ(a.cold, b.cold);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_EQ(a.commercial, b.commercial);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Cluster, FixedSeedReproducesIdenticalTotals)
+{
+    Cluster a(smallFleet(3, DispatchPolicy::WarmthAware));
+    Cluster b(smallFleet(3, DispatchPolicy::WarmthAware));
+    expectIdentical(totalsOf(a.run()), totalsOf(b.run()));
+}
+
+TEST(Cluster, ThreadedRunnerMatchesSerialBitExactly)
+{
+    auto serialCfg = smallFleet(4, DispatchPolicy::LeastLoaded, 300);
+    serialCfg.threads = 1;
+    auto threadedCfg = serialCfg;
+    threadedCfg.threads = 4;
+
+    Cluster serial(serialCfg);
+    Cluster threaded(threadedCfg);
+    expectIdentical(totalsOf(serial.run()), totalsOf(threaded.run()));
+}
+
+TEST(Cluster, WarmthAwareBeatsRoundRobinOnColdStarts)
+{
+    // Identical traffic (same seed/trace); only the routing differs.
+    Cluster rr(smallFleet(4, DispatchPolicy::RoundRobin, 400));
+    Cluster warmth(smallFleet(4, DispatchPolicy::WarmthAware, 400));
+    const std::uint64_t rrCold = rr.run().coldStarts;
+    const std::uint64_t warmthCold = warmth.run().coldStarts;
+    EXPECT_LT(warmthCold, rrCold);
+}
+
+TEST(Cluster, ZeroKeepAliveMeansEveryStartIsCold)
+{
+    auto cfg = smallFleet(2, DispatchPolicy::WarmthAware);
+    cfg.keepAlive = 0;
+    Cluster fleet(cfg);
+    const FleetReport &report = fleet.run();
+    EXPECT_EQ(report.warmStarts, 0u);
+    EXPECT_EQ(report.coldStarts, report.dispatched);
+}
+
+TEST(Cluster, WarmInvocationSkipsStartup)
+{
+    Rng rng(1);
+    const FunctionSpec &spec = tinySuite()[0];
+    const auto cold = workload::makeInvocation(spec, rng);
+    const auto warm = workload::makeWarmInvocation(spec, rng);
+    EXPECT_LT(warm->program().totalInstructions(),
+              cold->program().totalInstructions());
+    // Warm containers skip the startup, so there is no probe substrate.
+    EXPECT_EQ(warm->probeWindow(), sim::Task::noProbe);
+    EXPECT_GT(cold->probeWindow(), 0.0);
+}
+
+TEST(Cluster, AccessorsGuardAgainstMisuse)
+{
+    Cluster fleet(smallFleet(2, DispatchPolicy::RoundRobin));
+    EXPECT_EXIT(fleet.report(), ::testing::ExitedWithCode(1),
+                "not completed");
+    EXPECT_EXIT(fleet.engine(7), ::testing::ExitedWithCode(1),
+                "no machine");
+    // Pre-run ledgers/engines would read as zero revenue; refuse.
+    EXPECT_EXIT(fleet.ledger(0), ::testing::ExitedWithCode(1),
+                "not completed");
+    EXPECT_EXIT(fleet.engine(0), ::testing::ExitedWithCode(1),
+                "not completed");
+}
+
+/** Synthetic discount model (same construction as test_pricing). */
+pricing::DiscountModel
+syntheticModel()
+{
+    pricing::CongestionTable congestion;
+    pricing::PerformanceTable performance;
+    for (Language lang : workload::allLanguages()) {
+        pricing::ProbeReading base;
+        // Far below any simulated startup CPI, so observed slowdowns
+        // land above 1 and the (clamped) rates actually discount.
+        base.privCpi = 0.2;
+        base.sharedCpi = 0.05;
+        base.instructions = 45e6;
+        base.machineL3MissPerUs = 1.0;
+        congestion.setBaseline(lang, base);
+    }
+    for (unsigned level : {2u, 4u, 6u, 8u}) {
+        const double x = 1.0 + 0.05 * level;
+        for (Language lang : workload::allLanguages()) {
+            pricing::CongestionEntry e;
+            e.privSlowdown = 1.0 + 0.005 * level;
+            e.sharedSlowdown = x;
+            e.totalSlowdown = x;
+            e.l3MissPerUs = 10.0 * x;
+            congestion.add(lang, GeneratorKind::CtGen, level, e);
+            e.l3MissPerUs = 1000.0 * x;
+            congestion.add(lang, GeneratorKind::MbGen, level, e);
+        }
+        pricing::PerformanceEntry p;
+        p.privSlowdown = 1.0 + 0.005 * level;
+        p.sharedSlowdown = x;
+        p.totalSlowdown = x;
+        performance.add(GeneratorKind::CtGen, level, p);
+        performance.add(GeneratorKind::MbGen, level, p);
+    }
+    return pricing::DiscountModel(congestion, performance);
+}
+
+TEST(Cluster, DiscountModelPricesColdProbedInvocations)
+{
+    const pricing::DiscountModel model = syntheticModel();
+    auto cfg = smallFleet(2, DispatchPolicy::WarmthAware);
+    cfg.discountModel = &model;
+    cfg.probes = true;
+    Cluster fleet(cfg);
+    const FleetReport &report = fleet.run();
+    ASSERT_GT(report.coldStarts, 0u);
+    ASSERT_GT(report.warmStarts, 0u);
+
+    bool discounted = false;
+    for (unsigned i = 0; i < 2; ++i) {
+        for (const pricing::BillRecord &rec :
+             fleet.ledger(i).records()) {
+            EXPECT_GT(rec.commercialUsd, 0.0);
+            if (rec.litmusUsd != rec.commercialUsd)
+                discounted = true;
+        }
+    }
+    // At least the cold, probed invocations went through the model.
+    EXPECT_TRUE(discounted);
+
+    // Conservation holds under Litmus pricing too.
+    EXPECT_NEAR(report.billedCpuSeconds,
+                report.sumMachineBilledSeconds(),
+                1e-9 * report.billedCpuSeconds);
+}
+
+} // namespace
+} // namespace litmus::cluster

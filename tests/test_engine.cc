@@ -276,6 +276,57 @@ TEST(Engine, CoRunnerSlowsSubjectDown)
               solo.counters.stallSharedCycles * 1.2);
 }
 
+TEST(Engine, RunExecutesExactQuantumCounts)
+{
+    // run() counts quanta as an integer: exact multiples stay exact
+    // and fractional durations round up to the covering quantum.
+    Engine engine(smallMachine());
+    engine.run(3 * 50e-6);
+    EXPECT_EQ(engine.stats().quanta.value(), 3.0);
+    engine.run(0.4 * 50e-6);
+    EXPECT_EQ(engine.stats().quanta.value(), 4.0);
+}
+
+TEST(Engine, RunIsDriftFreeOverManyCalls)
+{
+    // Accumulated floating-point time drifts after many quanta; the
+    // quantum count must not (a 1 ms run is exactly 20 quanta, every
+    // time, no matter how far the clock has advanced).
+    Engine engine(smallMachine());
+    const int calls = 2500;
+    for (int i = 0; i < calls; ++i)
+        engine.run(1e-3);
+    EXPECT_EQ(engine.stats().quanta.value(), 20.0 * calls);
+}
+
+TEST(Engine, ObserverSeesBusySocketNotIdleOne)
+{
+    // Regression: with sockets > 1, an idle later socket used to
+    // overwrite the busy earlier one in the per-quantum observer state
+    // (0 >= 0 for a workload with no DRAM traffic). The L3-only load
+    // below runs on socket 0; socket 1 stays idle.
+    auto cfg = MachineConfig::cascadeLake5218Dual();
+    Engine engine(cfg);
+    for (unsigned cpu = 0; cpu < 4; ++cpu) {
+        ResourceDemand d;
+        d.cpi0 = 0.6;
+        d.l2Mpki = 25.0;
+        d.l3WorkingSet = 1_MiB;
+        d.l3MissBase = 0.0; // all L2 misses hit the L3: no DRAM traffic
+        d.mlp = 4.0;
+        auto task =
+            std::make_unique<workload::EndlessTask>("l3hog", d);
+        task->setAffinity({cpu});
+        engine.add(std::move(task));
+    }
+    double observedL3 = 0;
+    engine.onQuantum([&](Seconds, const SharedState &s) {
+        observedL3 = s.l3Utilization;
+    });
+    engine.run(0.002);
+    EXPECT_GT(observedL3, 0.01);
+}
+
 TEST(Engine, RejectsNullTask)
 {
     Engine engine(smallMachine());

@@ -73,6 +73,17 @@ TEST(EnvOr, ParsesAndValidates)
     ::unsetenv("LITMUS_TEST_KNOB");
 }
 
+TEST(EnvOr, RejectsZeroRepsWithClearError)
+{
+    // The bench knob everyone actually sets: LITMUS_REPS=0 must die
+    // with the "positive integer" message, not loop zero times.
+    ::setenv("LITMUS_REPS", "0", 1);
+    EXPECT_EXIT(envOr("LITMUS_REPS", 5u),
+                ::testing::ExitedWithCode(1),
+                "LITMUS_REPS must be a positive integer");
+    ::unsetenv("LITMUS_REPS");
+}
+
 TEST(SlowdownExperiment, ProducesSaneRows)
 {
     const auto result = runSlowdownExperiment(smallConfig());
