@@ -60,7 +60,11 @@ main(int argc, char **argv)
                    "cascadelake")
         .addOption("machine", "key=value override file", "")
         .addOption("tables",
-                   "calibration artifact: enables Litmus pricing", "");
+                   "calibration artifact: enables Litmus pricing", "")
+        .addSwitch("exact-quantum",
+                   "disable steady-state fast-forward and batched idle "
+                   "epochs (bit-identical totals, slower; A/B "
+                   "validation)");
 
     if (!args.parse(argc, argv)) {
         if (!args.errorText().empty())
@@ -81,6 +85,7 @@ main(int argc, char **argv)
     cfg.keepAlive = args.getDouble("keepalive");
     cfg.threads =
         static_cast<unsigned>(intAtLeast(args, "threads", 0));
+    cfg.exactQuantum = args.has("exact-quantum");
     cfg.machine = args.get("preset") == "icelake"
                       ? sim::MachineConfig::iceLake4314()
                       : sim::MachineConfig::cascadeLake5218();

@@ -23,6 +23,7 @@
 #include "core/calibration.h"
 #include "core/experiment.h"
 #include "core/table_io.h"
+#include "sim/engine.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
 
@@ -229,7 +230,10 @@ main(int argc, char **argv)
         .addOption("sharing-factor",
                    "Method 1 T_private calibration factor", "1.0")
         .addOption("seconds", "simulated churn duration (stats)", "1.0")
-        .addSwitch("turbo", "unpin the CPU frequency");
+        .addSwitch("turbo", "unpin the CPU frequency")
+        .addSwitch("exact-quantum",
+                   "disable the steady-state fast-forward engine "
+                   "(bit-identical output, slower; A/B validation)");
 
     if (!args.parse(argc, argv)) {
         if (!args.errorText().empty())
@@ -241,6 +245,11 @@ main(int argc, char **argv)
         std::cerr << args.usage();
         return 2;
     }
+
+    // Applies to every engine the subcommands construct internally
+    // (experiments, calibration sweeps, solo baselines).
+    if (args.has("exact-quantum"))
+        sim::Engine::setDefaultFastForward(false);
 
     const std::string command = args.positional("command");
     if (command == "calibrate")

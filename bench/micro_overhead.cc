@@ -153,8 +153,12 @@ BM_EngineQuantum(benchmark::State &state)
         d.l3WorkingSet = (2 + i % 4) * 1024 * 1024;
         d.l3MissBase = 0.3;
         d.mlp = 4.0;
-        engine.add(std::make_unique<workload::EndlessTask>(
-            "t" + std::to_string(i), d));
+        // Built by append: GCC 12's -O3 -Wrestrict false-positives on
+        // the operator+ temporary chain.
+        std::string name = "t";
+        name += std::to_string(i);
+        engine.add(
+            std::make_unique<workload::EndlessTask>(std::move(name), d));
     }
     for (auto _ : state)
         engine.run(50e-6);

@@ -85,6 +85,14 @@ struct ClusterConfig
     unsigned threads = 0;
 
     /**
+     * A/B escape hatch (--exact-quantum): disable the engines'
+     * steady-state fast-forward and the cluster's batched idle-epoch
+     * stepping. Fleet totals are bit-identical either way; exact mode
+     * exists for differential validation and baseline timing.
+     */
+    bool exactQuantum = false;
+
+    /**
      * Simulated seconds the fleet may keep running past the last
      * arrival; fatal() if it fails to drain by then. Relative to the
      * trace end, so long traces (low rates, millions of invocations)

@@ -1,6 +1,7 @@
 #include "sim/contention.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
@@ -163,6 +164,94 @@ ContentionSolver::solve(const std::vector<SolverInput> &inputs,
     }
 
     return result;
+}
+
+ContentionMemo::ContentionMemo(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("ContentionMemo: capacity must be positive");
+}
+
+std::size_t
+ContentionMemo::KeyHash::operator()(const Key &key) const
+{
+    // FNV-1a over the packed bit patterns.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t word : key) {
+        h ^= word;
+        h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+void
+ContentionMemo::makeKey(Key &key,
+                        const std::vector<SolverInput> &inputs,
+                        Hertz frequency, double waiting_working_set)
+{
+    const auto bits = [](double v) {
+        return std::bit_cast<std::uint64_t>(v);
+    };
+    key.clear();
+    key.reserve(2 + 7 * inputs.size());
+    key.push_back(bits(frequency));
+    key.push_back(bits(waiting_working_set));
+    for (const SolverInput &in : inputs) {
+        key.push_back(bits(in.demand.cpi0));
+        key.push_back(bits(in.demand.l2Mpki));
+        key.push_back(in.demand.l3WorkingSet);
+        key.push_back(bits(in.demand.l3MissBase));
+        key.push_back(bits(in.demand.mlp));
+        key.push_back(bits(in.env.warmthMult));
+        key.push_back(bits(in.env.smtMult));
+    }
+}
+
+const ContentionResult &
+ContentionMemo::solve(const ContentionSolver &solver,
+                      const std::vector<SolverInput> &inputs,
+                      Hertz frequency, double waiting_working_set)
+{
+    if (bypassed_) {
+        ++misses_;
+        bypassResult_ =
+            solver.solve(inputs, frequency, waiting_working_set);
+        return bypassResult_;
+    }
+
+    makeKey(keyBuffer_, inputs, frequency, waiting_working_set);
+    const auto it = index_.find(keyBuffer_);
+    if (it != index_.end()) {
+        ++hits_;
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return entries_.front().second;
+    }
+    ++misses_;
+
+    // Hit-rate watchdog: once warm, a memo that hits on fewer than
+    // ~20% of lookups costs more in key hashing than it saves in
+    // skipped solves (per-invocation jitter makes fleet signatures
+    // nearly unique). Bypass permanently; results are unchanged.
+    constexpr std::uint64_t warmupMisses = 2048;
+    if (misses_ >= warmupMisses && hits_ * 5 < misses_) {
+        bypassed_ = true;
+        entries_.clear();
+        index_.clear();
+        bypassResult_ =
+            solver.solve(inputs, frequency, waiting_working_set);
+        return bypassResult_;
+    }
+
+    entries_.emplace_front(keyBuffer_,
+                           solver.solve(inputs, frequency,
+                                        waiting_working_set));
+    index_.emplace(entries_.front().first, entries_.begin());
+    if (entries_.size() > capacity_) {
+        index_.erase(entries_.back().first);
+        entries_.pop_back();
+    }
+    return entries_.front().second;
 }
 
 } // namespace litmus::sim

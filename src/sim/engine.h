@@ -1,6 +1,7 @@
 /**
  * @file
- * Quantum-stepped simulation engine.
+ * Quantum-stepped simulation engine with a steady-state fast-forward
+ * core.
  *
  * Each quantum (default 50 us) the engine asks the scheduler which task
  * runs on every hardware thread, solves the shared-domain contention
@@ -8,11 +9,25 @@
  * quantum at phase boundaries so short startup sub-phases stay sharp.
  * PMU counters, probe windows, completion callbacks, and machine-wide
  * uncore counters are all maintained here.
+ *
+ * Long steady phases and idle stretches dominate real traces, so the
+ * engine does not recompute what cannot have changed: a full step
+ * captures a *replay plan* (the solved per-thread quantum deltas), and
+ * while the scheduler topology, every running task's phase, and the
+ * phase headroom are unchanged, subsequent quanta replay the cached
+ * deltas — same additions, same order, same per-quantum observer
+ * callbacks — so every statistic, counter, and billing input stays
+ * bit-identical to exact quantum stepping while skipping the scheduler
+ * scans and the iterative contention solve. Re-solves that do happen
+ * are served from a ContentionMemo keyed on the co-running phase
+ * signature. setFastForward(false) (the apps' --exact-quantum flag)
+ * restores the original path for A/B validation.
  */
 
 #ifndef LITMUS_SIM_ENGINE_H
 #define LITMUS_SIM_ENGINE_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_set>
@@ -44,6 +59,15 @@ struct EngineStats
                                "hardware threads busy per quantum"};
     AverageStat frequencyGhz{"frequency_ghz",
                              "per-quantum core frequency"};
+    /** @name Fast-forward diagnostics (never affect simulation output)
+     *  @{ */
+    CounterStat ffQuanta{"ff_quanta",
+                         "quanta advanced by steady-state replay"};
+    CounterStat solves{"solves",
+                       "contention solve requests (incl. memo hits)"};
+    CounterStat solveMemoHits{"solve_memo_hits",
+                              "contention solves served from the memo"};
+    /** @} */
 
     /** Register every member under the given group. */
     void registerWith(StatsRegistry &registry, const std::string &group);
@@ -84,6 +108,17 @@ class Engine
     /** Advance simulated time by the given duration. */
     void run(Seconds duration);
 
+    /** Advance exactly @p n quanta. */
+    void runQuanta(std::uint64_t n);
+
+    /**
+     * Quanta covering @p duration, computed on integer nanosecond
+     * ticks end-to-end so exact quantum multiples never gain or lose a
+     * quantum to floating-point drift, no matter how the duration was
+     * produced (k * epoch, accumulated sums, ...).
+     */
+    std::uint64_t quantaForDuration(Seconds duration) const;
+
     /**
      * Advance until the given task completes (or the time cap is hit;
      * then fatal(), because every experiment must terminate).
@@ -98,6 +133,9 @@ class Engine
 
     /** Current simulated time. */
     Seconds now() const { return now_; }
+
+    /** Quantum length this engine steps by. */
+    Seconds quantum() const { return quantum_; }
 
     /** Machine-wide uncore counters. */
     const MachineCounters &machineCounters() const { return machine_; }
@@ -131,9 +169,77 @@ class Engine
     EngineStats &stats() { return stats_; }
     const EngineStats &stats() const { return stats_; }
 
+    /** @name Steady-state fast-forward control @{ */
+    /**
+     * Enable or disable the fast-forward core for this engine.
+     * Output is bit-identical either way; disabling exists as an A/B
+     * escape hatch (--exact-quantum) and for baseline timing.
+     */
+    void setFastForward(bool enabled);
+    bool fastForward() const { return fastForward_; }
+
+    /**
+     * Process-wide default applied to newly constructed engines, so
+     * command-line front ends can flip every engine an experiment
+     * creates internally without threading a flag through each config.
+     */
+    static void setDefaultFastForward(bool enabled);
+    static bool defaultFastForward();
+    /** @} */
+
   private:
-    /** Execute one quantum. */
+    /** One running thread's precomputed steady-quantum deltas. */
+    struct PlannedThread
+    {
+        Task *task = nullptr;
+        /** Phase identity: demand() must still return this object. */
+        const ResourceDemand *demand = nullptr;
+        Instructions stepInstr = 0;
+        Cycles usedCycles = 0;
+        Cycles stallCycles = 0;
+        double l2Misses = 0;
+        double l3Misses = 0;
+    };
+
+    /** Per-socket slice of the plan plus its stat samples. */
+    struct PlannedSocket
+    {
+        std::size_t threadBegin = 0;
+        std::size_t threadEnd = 0;
+        double l3Utilization = 0;
+        double memUtilization = 0;
+    };
+
+    /**
+     * Everything needed to replay one steady quantum without touching
+     * the scheduler or the solver. Built by fullStep(), valid while
+     * the scheduler version is unchanged and every planned task stays
+     * in its phase with more than one quantum of headroom.
+     */
+    struct FastForwardPlan
+    {
+        bool valid = false;
+        std::uint64_t schedVersion = 0;
+        double runningSample = 0;
+        double freqGhzSample = 0;
+        SharedState observedState;
+        std::vector<PlannedThread> threads;
+        std::vector<PlannedSocket> sockets;
+    };
+
+    /** Execute one quantum (replay when possible, full otherwise). */
     void step();
+
+    /** The exact quantum step; rebuilds the replay plan as it goes. */
+    void fullStep();
+
+    /** Replay one steady quantum off the plan. False: plan not valid. */
+    bool tryReplayQuantum();
+
+    /** Memoized solve plus the solve/hit stat bookkeeping. */
+    const ContentionResult &
+    memoSolve(const std::vector<SolverInput> &inputs, Hertz freq,
+              double waiting_working_set);
 
     /** Advance one running task through (up to) the quantum. */
     void advanceTask(Task &task, unsigned cpu, const ThreadPerf &perf,
@@ -147,9 +253,12 @@ class Engine
 
     const MachineConfig cfg_;
     ContentionSolver solver_;
+    ContentionMemo solveMemo_;
     FrequencyGovernor governor_;
     OsScheduler scheduler_;
     Seconds quantum_;
+    /** Quantum in integer nanosecond ticks (run() accounting). */
+    std::int64_t quantumNs_;
     Seconds now_ = 0;
     Hertz lastFrequency_;
     MachineCounters machine_;
@@ -160,6 +269,17 @@ class Engine
     std::vector<QuantumObserver> quantumCbs_;
     std::uint64_t nextTaskId_ = 1;
     EngineStats stats_;
+    bool fastForward_;
+    FastForwardPlan plan_;
+
+    /** @name fullStep() scratch space (reused, hot path) @{ */
+    std::vector<unsigned> scratchCpus_;
+    std::vector<Task *> scratchTasks_;
+    std::vector<const ResourceDemand *> scratchDemands_;
+    std::vector<SolverInput> scratchInputs_;
+    /** @} */
+
+    static bool defaultFastForward_;
 };
 
 } // namespace litmus::sim

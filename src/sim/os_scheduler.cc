@@ -40,6 +40,9 @@ OsScheduler::add(Task *task)
             best = cpu;
     }
     cpus_[best].queue.push_back(task);
+    if (cpus_[best].queue.size() == 2)
+        ++crowdedCpus_;
+    ++version_;
 }
 
 void
@@ -50,9 +53,18 @@ OsScheduler::remove(Task *task)
         if (it != cpu.queue.end()) {
             const bool wasRunning = it == cpu.queue.begin();
             cpu.queue.erase(it);
-            if (wasRunning)
+            if (cpu.queue.size() == 1)
+                --crowdedCpus_;
+            // The slice resets as soon as the CPU stops being
+            // oversubscribed. Deliberate semantics (and the invariant
+            // that lets an uncrowded tick() be a no-op): previously a
+            // partially consumed slice could carry over if the queue
+            // refilled before the next tick, rotating the new pair
+            // early.
+            if (wasRunning || cpu.queue.size() < 2)
                 cpu.sliceUsed = 0;
             frozen_.erase(task);
+            ++version_;
             rebalance();
             return;
         }
@@ -65,7 +77,12 @@ OsScheduler::runningOn(unsigned cpu) const
 {
     if (cpu >= cpus_.size())
         panic("OsScheduler::runningOn: cpu ", cpu, " out of range");
-    for (Task *task : cpus_[cpu].queue) {
+    const std::deque<Task *> &queue = cpus_[cpu].queue;
+    // Freezing is rare (POPPA windows only); skip the per-entry hash
+    // probes on the hot path when nothing is frozen.
+    if (frozen_.empty())
+        return queue.empty() ? nullptr : queue.front();
+    for (Task *task : queue) {
         if (!frozen_.contains(task))
             return task;
     }
@@ -75,6 +92,11 @@ OsScheduler::runningOn(unsigned cpu) const
 void
 OsScheduler::tick(Seconds dt)
 {
+    // With no oversubscribed CPU the loop below is a pure no-op
+    // (every sliceUsed is already 0 by the eager resets), so the
+    // common uncrowded case costs O(1) per quantum.
+    if (crowdedCpus_ == 0)
+        return;
     for (auto &cpu : cpus_) {
         if (cpu.queue.size() < 2) {
             cpu.sliceUsed = 0;
@@ -91,6 +113,7 @@ OsScheduler::tick(Seconds dt)
                 incoming->counters().contextSwitches += 1;
                 cpu.pendingSwitchCycles += cfg_.contextSwitchCycles;
             }
+            ++version_;
         }
     }
 }
@@ -154,10 +177,10 @@ OsScheduler::siblingBusy(unsigned cpu) const
 void
 OsScheduler::setFrozen(Task *task, bool frozen)
 {
-    if (frozen)
-        frozen_.insert(task);
-    else
-        frozen_.erase(task);
+    const bool changed = frozen ? frozen_.insert(task).second
+                                : frozen_.erase(task) > 0;
+    if (changed)
+        ++version_;
 }
 
 bool
@@ -232,7 +255,12 @@ OsScheduler::rebalance()
         if (candidate) {
             auto &q = cpus_[fromCpu].queue;
             q.erase(std::find(q.begin(), q.end(), candidate));
+            if (q.size() == 1) {
+                --crowdedCpus_;
+                cpus_[fromCpu].sliceUsed = 0;
+            }
             cpus_[cpu].queue.push_back(candidate);
+            ++version_;
         }
     }
 }

@@ -98,6 +98,15 @@ class OsScheduler
     /** Expose the warmth curve itself (Figure 14 bench). */
     double warmthForCount(unsigned co_runners) const;
 
+    /**
+     * Topology version: bumped by every mutation that can change what
+     * runs where (add, remove, freeze, slice rotation, rebalancing).
+     * While it is unchanged, runningOn()/warmthMult()/siblingBusy()/
+     * waitingWorkingSet() all return the same answers, which is what
+     * lets the engine fast-forward steady stretches without re-asking.
+     */
+    std::uint64_t version() const { return version_; }
+
   private:
     struct CpuState
     {
@@ -115,6 +124,9 @@ class OsScheduler
     const MachineConfig &cfg_;
     std::vector<CpuState> cpus_;
     std::unordered_set<const Task *> frozen_;
+    std::uint64_t version_ = 0;
+    /** CPUs with >= 2 queued tasks (tick() fast-path bookkeeping). */
+    unsigned crowdedCpus_ = 0;
 };
 
 } // namespace litmus::sim

@@ -274,5 +274,125 @@ INSTANTIATE_TEST_SUITE_P(Counts, StallMonotone,
                          ::testing::Values(1u, 2u, 4u, 8u, 12u, 16u, 20u,
                                            24u));
 
+TEST(ContentionMemo, HitReturnsBitIdenticalResult)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ContentionMemo memo;
+    std::vector<SolverInput> inputs(4, SolverInput{memoryDemand(), {}});
+
+    const ContentionResult fresh =
+        solver.solve(inputs, machine.baseFrequency, 1e6);
+    const ContentionResult first =
+        memo.solve(solver, inputs, machine.baseFrequency, 1e6);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.hits(), 0u);
+    const ContentionResult second =
+        memo.solve(solver, inputs, machine.baseFrequency, 1e6);
+    EXPECT_EQ(memo.hits(), 1u);
+
+    for (const ContentionResult *r : {&first, &second}) {
+        EXPECT_EQ(r->shared.l3LatencyNs, fresh.shared.l3LatencyNs);
+        EXPECT_EQ(r->shared.memLatencyNs, fresh.shared.memLatencyNs);
+        EXPECT_EQ(r->shared.l3Utilization, fresh.shared.l3Utilization);
+        EXPECT_EQ(r->shared.memUtilization,
+                  fresh.shared.memUtilization);
+        ASSERT_EQ(r->threads.size(), fresh.threads.size());
+        for (std::size_t i = 0; i < fresh.threads.size(); ++i) {
+            EXPECT_EQ(r->threads[i].privateCpi,
+                      fresh.threads[i].privateCpi);
+            EXPECT_EQ(r->threads[i].stallPerInstr,
+                      fresh.threads[i].stallPerInstr);
+            EXPECT_EQ(r->threads[i].l3MissFraction,
+                      fresh.threads[i].l3MissFraction);
+        }
+    }
+}
+
+TEST(ContentionMemo, DistinguishesEveryKeyComponent)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ContentionMemo memo;
+    std::vector<SolverInput> inputs(2, SolverInput{memoryDemand(), {}});
+
+    memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    // Different frequency, waiting working set, environment, demand:
+    // each must miss, never alias.
+    memo.solve(solver, inputs, machine.turboFrequency, 0.0);
+    memo.solve(solver, inputs, machine.baseFrequency, 5e6);
+    inputs[0].env.warmthMult = 1.01;
+    memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    inputs[0].env.warmthMult = 1.0;
+    inputs[1].demand.l2Mpki += 0.5;
+    memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    EXPECT_EQ(memo.misses(), 5u);
+    EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(ContentionMemo, BypassesItselfOnLowHitRate)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ContentionMemo memo;
+    std::vector<SolverInput> inputs(1, SolverInput{memoryDemand(), {}});
+    // A stream of unique signatures (jittered fleet traffic) must trip
+    // the hit-rate watchdog...
+    for (int i = 0; i < 2100 && !memo.bypassed(); ++i) {
+        inputs[0].demand.l2Mpki = 1.0 + 1e-4 * i;
+        memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    }
+    EXPECT_TRUE(memo.bypassed());
+    EXPECT_EQ(memo.size(), 0u);
+    // ...and bypassed solves still return bit-identical results.
+    inputs[0].demand.l2Mpki = 5.0;
+    const ContentionResult fresh =
+        solver.solve(inputs, machine.baseFrequency, 0.0);
+    const ContentionResult &bypassed =
+        memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    EXPECT_EQ(bypassed.shared.memUtilization,
+              fresh.shared.memUtilization);
+    EXPECT_EQ(bypassed.threads[0].stallPerInstr,
+              fresh.threads[0].stallPerInstr);
+}
+
+TEST(ContentionMemo, HighHitRateStaysEnabled)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ContentionMemo memo;
+    std::vector<SolverInput> inputs(1, SolverInput{memoryDemand(), {}});
+    // Recurring signatures (the Table 1 suite shape) keep the memo on.
+    for (int i = 0; i < 6000; ++i) {
+        inputs[0].demand.l2Mpki = 1.0 + (i % 16);
+        memo.solve(solver, inputs, machine.baseFrequency, 0.0);
+    }
+    EXPECT_FALSE(memo.bypassed());
+    EXPECT_EQ(memo.misses(), 16u);
+}
+
+TEST(ContentionMemo, EvictsLeastRecentlyUsed)
+{
+    const auto machine = cfg();
+    const ContentionSolver solver(machine);
+    ContentionMemo memo(2);
+    auto inputsAt = [&](double mpki) {
+        std::vector<SolverInput> inputs(1,
+                                        SolverInput{memoryDemand(), {}});
+        inputs[0].demand.l2Mpki = mpki;
+        return inputs;
+    };
+    memo.solve(solver, inputsAt(1.0), machine.baseFrequency, 0.0);
+    memo.solve(solver, inputsAt(2.0), machine.baseFrequency, 0.0);
+    // Touch 1.0 so 2.0 becomes the LRU entry, then insert a third.
+    memo.solve(solver, inputsAt(1.0), machine.baseFrequency, 0.0);
+    memo.solve(solver, inputsAt(3.0), machine.baseFrequency, 0.0);
+    EXPECT_EQ(memo.size(), 2u);
+    memo.solve(solver, inputsAt(1.0), machine.baseFrequency, 0.0);
+    EXPECT_EQ(memo.hits(), 2u); // 1.0 survived
+    memo.solve(solver, inputsAt(2.0), machine.baseFrequency, 0.0);
+    EXPECT_EQ(memo.misses(), 4u); // 2.0 was evicted
+}
+
 } // namespace
 } // namespace litmus::sim

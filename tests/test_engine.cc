@@ -299,6 +299,53 @@ TEST(Engine, RunIsDriftFreeOverManyCalls)
     EXPECT_EQ(engine.stats().quanta.value(), 20.0 * calls);
 }
 
+TEST(Engine, QuantumCountsComeFromIntegerTicks)
+{
+    // Quantum counts are computed on integer nanosecond ticks, so
+    // exact and near-exact quantum multiples never gain or lose a
+    // quantum to floating-point representation error, no matter how
+    // the duration was produced.
+    const Seconds q = 50e-6;
+    Engine engine(smallMachine());
+    EXPECT_EQ(engine.quantaForDuration(0.0), 0u);
+    EXPECT_EQ(engine.quantaForDuration(q), 1u);
+    EXPECT_EQ(engine.quantaForDuration(3 * q), 3u);
+    // Near-exact from below and above: both snap to the multiple.
+    EXPECT_EQ(engine.quantaForDuration(q * (1.0 - 1e-12)), 1u);
+    EXPECT_EQ(engine.quantaForDuration(q * (1.0 + 1e-12)), 1u);
+    EXPECT_EQ(engine.quantaForDuration(1000 * q * (1.0 - 1e-13)),
+              1000u);
+    // A fractional remainder still rounds up to the covering quantum.
+    EXPECT_EQ(engine.quantaForDuration(2.5 * q), 3u);
+    // Accumulated sums that drift below the exact multiple stay exact:
+    // 20 * 50us accumulated in floating point is not exactly 1ms.
+    Seconds accumulated = 0;
+    for (int i = 0; i < 20; ++i)
+        accumulated += q;
+    EXPECT_EQ(engine.quantaForDuration(accumulated), 20u);
+    // Multi-epoch batches (k * epoch) are exact for any k.
+    for (std::uint64_t k : {1ull, 7ull, 1000ull, 123456ull})
+        EXPECT_EQ(engine.quantaForDuration(
+                      static_cast<double>(k) * 1e-3),
+                  k * 20u);
+}
+
+TEST(Engine, RunQuantaExecutesExactCount)
+{
+    Engine engine(smallMachine());
+    engine.runQuanta(7);
+    EXPECT_EQ(engine.stats().quanta.value(), 7.0);
+    EXPECT_NEAR(engine.now(), 7 * 50e-6, 1e-12);
+}
+
+TEST(Engine, RejectsFractionalNanosecondQuantum)
+{
+    // 2.5 ns would silently round to a 3 ns tick and shortchange
+    // every run() by 17%; the constructor must refuse instead.
+    EXPECT_EXIT(Engine(smallMachine(), FrequencyPolicy::Fixed, 2.5e-9),
+                ::testing::ExitedWithCode(1), "whole number");
+}
+
 TEST(Engine, ObserverSeesBusySocketNotIdleOne)
 {
     // Regression: with sockets > 1, an idle later socket used to
