@@ -2,24 +2,35 @@
  * @file
  * litmus-fleet: multi-machine serving front end.
  *
- * Simulates a fleet of identical machines behind a dispatcher, drives
- * it with open-loop Poisson traffic sampled from the Table 1 suite,
- * and prints per-machine serving rows plus the aggregated fleet
- * billing report. With --tables pointing at a calibration artifact
- * (from `litmus-sim calibrate`), cold invocations carry Litmus probes
- * and are charged the discounted Litmus price, so the report shows
- * fleet-wide revenue under fair pricing.
+ * Simulates a fleet of machines behind a dispatcher — homogeneous
+ * (--preset/--machines) or heterogeneous
+ * (--fleet=cascade-5218:8,icelake-4314:8) — drives it with open-loop
+ * Poisson traffic sampled from the Table 1 suite, and prints
+ * per-machine serving rows plus the aggregated fleet billing report
+ * with a per-machine-type breakdown.
+ *
+ * Litmus pricing needs one calibration profile per machine type:
+ * --tables loads serialized profiles (comma-separated paths; each
+ * binds to the machine type recorded inside it), --calibrate sweeps
+ * every fleet type in-process instead (memoized via ProfileStore),
+ * and --tables-out persists the active profiles so the next run can
+ * skip the sweep. A profile round-tripped through --tables-out /
+ * --tables reproduces in-process billing exactly.
  */
 
+#include <cstdlib>
 #include <iostream>
-#include <optional>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/arg_parser.h"
-#include "common/config_reader.h"
 #include "common/logging.h"
 #include "common/text_table.h"
+#include "core/profile_store.h"
 #include "core/table_io.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -37,6 +48,62 @@ intAtLeast(const ArgParser &args, const std::string &name, long floor)
     return value;
 }
 
+/** Split on a delimiter, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::istringstream stream(text);
+    std::string piece;
+    while (std::getline(stream, piece, delim)) {
+        if (!piece.empty())
+            out.push_back(piece);
+    }
+    return out;
+}
+
+/** Parse "type:count,type:count,..." into machine groups. */
+std::vector<cluster::MachineGroup>
+parseFleetSpec(const std::string &spec)
+{
+    std::vector<cluster::MachineGroup> fleet;
+    for (const std::string &piece : split(spec, ',')) {
+        cluster::MachineGroup group;
+        const auto colon = piece.find(':');
+        group.machine = piece.substr(0, colon);
+        if (colon != std::string::npos) {
+            const std::string count = piece.substr(colon + 1);
+            char *end = nullptr;
+            const long parsed = std::strtol(count.c_str(), &end, 10);
+            if (end != count.c_str() + count.size() || parsed < 1)
+                fatal("--fleet: bad machine count '", count, "' in '",
+                      piece, "' (want <type>:<count>)");
+            group.count = static_cast<unsigned>(parsed);
+        }
+        fleet.push_back(group);
+    }
+    if (fleet.empty())
+        fatal("--fleet: empty fleet spec");
+    return fleet;
+}
+
+/** Output path for one type's profile: the plain path for a
+ *  single-type fleet, "<stem>-<type><ext>" when several types are
+ *  being written. */
+std::string
+profileOutPath(const std::string &path, const std::string &type,
+               bool multiple)
+{
+    if (!multiple)
+        return path;
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "-" + type;
+    return path.substr(0, dot) + "-" + type + path.substr(dot);
+}
+
 } // namespace
 
 int
@@ -45,9 +112,14 @@ main(int argc, char **argv)
     ArgParser args("litmus-fleet",
                    "Fleet-scale Litmus serving simulator");
     args.addOption("machines", "machines in the fleet", "4")
+        .addOption("fleet",
+                   "heterogeneous fleet spec, e.g. "
+                   "cascade-5218:8,icelake-4314:8 (overrides "
+                   "--machines/--preset)",
+                   "")
         .addOption("policy",
                    "dispatch policy: round-robin | least-loaded | "
-                   "warmth-aware",
+                   "warmth-aware | cost-aware",
                    "warmth-aware")
         .addOption("rate", "fleet arrival rate (invocations/s)", "2000")
         .addOption("invocations", "total arrivals to serve", "10000")
@@ -56,11 +128,25 @@ main(int argc, char **argv)
         .addOption("keepalive", "warm-container keep-alive (s)", "10")
         .addOption("threads",
                    "worker threads (0 = one per machine)", "0")
-        .addOption("preset", "machine preset: cascadelake | icelake",
-                   "cascadelake")
-        .addOption("machine", "key=value override file", "")
+        .addOption("preset",
+                   "machine type (catalog name) for a homogeneous "
+                   "fleet",
+                   "cascade-5218")
+        .addOption("machine",
+                   "key=value preset file registered into the catalog "
+                   "(must set name=; becomes the homogeneous type)",
+                   "")
         .addOption("tables",
-                   "calibration artifact: enables Litmus pricing", "")
+                   "calibration profiles to load (comma-separated "
+                   "paths): enables Litmus pricing",
+                   "")
+        .addOption("tables-out",
+                   "write the active calibration profiles here "
+                   "(one file per machine type)",
+                   "")
+        .addSwitch("calibrate",
+                   "calibrate every fleet machine type in-process "
+                   "(Litmus pricing without --tables)")
         .addSwitch("exact-quantum",
                    "disable steady-state fast-forward and batched idle "
                    "epochs (bit-identical totals, slower; A/B "
@@ -74,8 +160,21 @@ main(int argc, char **argv)
     }
 
     cluster::ClusterConfig cfg;
-    cfg.machines =
-        static_cast<unsigned>(intAtLeast(args, "machines", 1));
+    const std::string fleetSpec = args.get("fleet");
+    if (!fleetSpec.empty()) {
+        cfg.fleet = parseFleetSpec(fleetSpec);
+    } else {
+        // Aliases ("cascadelake", "icelake", ...) resolve inside the
+        // catalog.
+        std::string preset = args.get("preset");
+        const std::string overridePath = args.get("machine");
+        if (!overridePath.empty())
+            preset =
+                sim::MachineCatalog::registerFromFile(overridePath)
+                    .name;
+        cfg.fleet = {{preset, static_cast<unsigned>(
+                                  intAtLeast(args, "machines", 1))}};
+    }
     cfg.policy = cluster::policyByName(args.get("policy"));
     cfg.arrivalsPerSecond = args.getDouble("rate");
     cfg.invocations =
@@ -86,37 +185,74 @@ main(int argc, char **argv)
     cfg.threads =
         static_cast<unsigned>(intAtLeast(args, "threads", 0));
     cfg.exactQuantum = args.has("exact-quantum");
-    cfg.machine = args.get("preset") == "icelake"
-                      ? sim::MachineConfig::iceLake4314()
-                      : sim::MachineConfig::cascadeLake5218();
-    const std::string overridePath = args.get("machine");
-    if (!overridePath.empty())
-        applyMachineOverrides(cfg.machine,
-                              ConfigReader::fromFile(overridePath));
 
-    // Litmus pricing needs the calibration tables and probes on the
-    // cold path; without --tables everything bills commercially.
-    std::optional<pricing::LoadedTables> tables;
-    std::optional<pricing::DiscountModel> model;
-    const std::string tablesPath = args.get("tables");
-    if (!tablesPath.empty()) {
-        tables = pricing::loadTables(tablesPath);
-        model.emplace(tables->congestion, tables->performance);
-        cfg.discountModel = &*model;
-        cfg.probes = true;
+    // ---- Litmus pricing: one profile + model per machine type ------
+    // Profiles and models are borrowed by the cluster; keep them
+    // alive here for the whole run.
+    std::vector<pricing::ProfileStore::ProfilePtr> profiles;
+    std::vector<std::unique_ptr<pricing::DiscountModel>> models;
+    const auto bind = [&](pricing::ProfileStore::ProfilePtr profile) {
+        if (profile->machine.empty())
+            fatal("litmus-fleet: profile has no machine name (legacy "
+                  "v1 artifact?) — recalibrate with --calibrate / "
+                  "litmus-sim calibrate to produce a v2 profile");
+        if (cfg.discountModels.contains(profile->machine))
+            fatal("litmus-fleet: two profiles for machine type '",
+                  profile->machine, "' — pass one per type");
+        models.push_back(
+            std::make_unique<pricing::DiscountModel>(*profile));
+        cfg.discountModels[profile->machine] = models.back().get();
+        profiles.push_back(std::move(profile));
+    };
+
+    const std::string tablesPaths = args.get("tables");
+    for (const std::string &path : split(tablesPaths, ','))
+        bind(std::make_shared<const pricing::CalibrationProfile>(
+            pricing::loadProfile(path)));
+
+    if (args.has("calibrate")) {
+        for (const cluster::MachineGroup &group : cfg.fleet) {
+            const std::string type =
+                sim::MachineCatalog::get(group.machine).name;
+            if (cfg.discountModels.contains(type))
+                continue; // a loaded profile wins
+            inform("calibrating ", type, " (dedicated sweep)...");
+            bind(pricing::ProfileStore::instance().dedicated(type));
+        }
+    }
+    cfg.probes = !cfg.discountModels.empty();
+
+    const std::string tablesOut = args.get("tables-out");
+    if (!tablesOut.empty()) {
+        if (profiles.empty())
+            fatal("--tables-out needs profiles to write; add "
+                  "--calibrate or --tables");
+        for (const auto &profile : profiles) {
+            const std::string out = profileOutPath(
+                tablesOut, profile->machine, profiles.size() > 1);
+            pricing::saveProfile(out, *profile);
+            inform("profile for ", profile->machine, " written to ",
+                   out);
+        }
     }
 
+    std::string fleetDesc;
+    for (const cluster::MachineGroup &group : cfg.fleet) {
+        fleetDesc += (fleetDesc.empty() ? "" : ", ") + group.machine +
+                     " x" + std::to_string(group.count);
+    }
     inform("serving ", cfg.invocations, " invocations at ",
-           cfg.arrivalsPerSecond, "/s across ", cfg.machines,
-           " machines (", cluster::policyName(cfg.policy), ")");
+           cfg.arrivalsPerSecond, "/s across ", cfg.totalMachines(),
+           " machines (", fleetDesc, "; ",
+           cluster::policyName(cfg.policy), ")");
     cluster::Cluster fleet(cfg);
     const cluster::FleetReport &report = fleet.run();
 
-    TextTable table({"machine", "dispatched", "cold", "warm",
+    TextTable table({"machine", "type", "dispatched", "cold", "warm",
                      "billed s", "commercial $", "litmus $",
                      "mean lat ms"});
     for (const cluster::MachineReport &m : report.machines) {
-        table.addRow({std::to_string(m.index),
+        table.addRow({std::to_string(m.index), m.type,
                       std::to_string(m.dispatched),
                       std::to_string(m.coldStarts),
                       std::to_string(m.warmStarts),
@@ -125,7 +261,16 @@ main(int argc, char **argv)
                       TextTable::num(m.litmusUsd, 6),
                       TextTable::num(1e3 * m.meanLatency)});
     }
-    table.addRow({"fleet", std::to_string(report.dispatched),
+    for (const cluster::TypeReport &t : report.types) {
+        table.addRow({"type", t.type, std::to_string(t.dispatched),
+                      std::to_string(t.coldStarts),
+                      std::to_string(t.warmStarts),
+                      TextTable::num(t.billedCpuSeconds),
+                      TextTable::num(t.commercialUsd, 6),
+                      TextTable::num(t.litmusUsd, 6),
+                      TextTable::num(100 * t.discount(), 1) + "% disc"});
+    }
+    table.addRow({"fleet", "", std::to_string(report.dispatched),
                   std::to_string(report.coldStarts),
                   std::to_string(report.warmStarts),
                   TextTable::num(report.billedCpuSeconds),

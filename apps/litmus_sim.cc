@@ -17,13 +17,13 @@
 #include <iostream>
 
 #include "common/arg_parser.h"
-#include "common/config_reader.h"
 #include "common/logging.h"
 #include "common/text_table.h"
 #include "core/calibration.h"
 #include "core/experiment.h"
 #include "core/table_io.h"
 #include "sim/engine.h"
+#include "sim/machine_catalog.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
 
@@ -35,15 +35,15 @@ namespace
 sim::MachineConfig
 machineFromArgs(const ArgParser &args)
 {
-    sim::MachineConfig machine =
-        args.get("preset") == "icelake"
-            ? sim::MachineConfig::iceLake4314()
-            : sim::MachineConfig::cascadeLake5218();
+    // Aliases ("cascadelake", "icelake", ...) resolve inside the
+    // catalog.
+    const std::string preset = args.get("preset");
     const std::string overridePath = args.get("machine");
-    if (!overridePath.empty())
-        applyMachineOverrides(machine,
-                              ConfigReader::fromFile(overridePath));
-    return machine;
+    if (!overridePath.empty()) {
+        // Registered so fleet specs and profiles can name it too.
+        return sim::MachineCatalog::registerFromFile(overridePath);
+    }
+    return sim::MachineCatalog::get(preset);
 }
 
 int
@@ -71,20 +71,19 @@ cmdCalibrate(const ArgParser &args)
 
     inform("calibrating ", cfg.machine.name, " over ",
            cfg.levels.size(), " levels per generator");
-    const auto result = pricing::calibrate(cfg);
+    const auto profile = pricing::calibrate(cfg);
 
     const std::string out = args.get("output");
-    pricing::saveTables(out, result.congestion, result.performance);
-    inform("tables written to ", out);
+    pricing::saveProfile(out, profile);
+    inform("profile for ", profile.machine, " written to ", out);
     return 0;
 }
 
 int
 cmdPrice(const ArgParser &args)
 {
-    const auto tables = pricing::loadTables(args.get("tables"));
-    const pricing::DiscountModel model(tables.congestion,
-                                       tables.performance);
+    const auto profile = pricing::loadProfile(args.get("tables"));
+    const pricing::DiscountModel model(profile);
 
     pricing::ExperimentConfig cfg;
     cfg.machine = machineFromArgs(args);
@@ -210,9 +209,14 @@ main(int argc, char **argv)
                    "platforms");
     args.addPositional("command",
                        "calibrate | price | slowdown | suite | stats")
-        .addOption("preset", "machine preset: cascadelake | icelake",
-                   "cascadelake")
-        .addOption("machine", "key=value override file", "")
+        .addOption("preset",
+                   "machine type (catalog name, e.g. cascade-5218 | "
+                   "icelake-4314)",
+                   "cascade-5218")
+        .addOption("machine",
+                   "key=value preset file (base=/name= keys) "
+                   "registered into the catalog",
+                   "")
         .addOption("output", "tables output path (calibrate)",
                    "litmus-tables.txt")
         .addOption("tables", "tables artifact to load (price)",

@@ -16,6 +16,7 @@
 #include "core/calibration.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 using workload::GeneratorKind;
@@ -73,7 +74,7 @@ main()
     const auto cal = pricing::calibrate(bench::dedicatedCalibration());
     const pricing::DiscountModel model(cal.congestion, cal.performance);
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const unsigned reps = bench::reps(3);
 
     sim::Engine engine(machine);

@@ -4,7 +4,7 @@
  *
  * The paper's testbed is a dual-socket Xeon; the default presets fold
  * it into one shared domain (DESIGN.md). This ablation models the
- * sockets explicitly (cascadeLake5218Dual) and shows:
+ * sockets explicitly ("cascade-5218-dual") and shows:
  *
  *  1. placement sensitivity the folded model cannot express — hogs on
  *     the subject's socket hurt, hogs on the remote socket do not;
@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -62,8 +63,8 @@ main()
     printBanner(std::cout,
                 "Ablation: dual-socket domains vs folded domain");
 
-    const auto dual = sim::MachineConfig::cascadeLake5218Dual();
-    const auto folded = sim::MachineConfig::cascadeLake5218();
+    const auto dual = sim::MachineCatalog::get("cascade-5218-dual");
+    const auto folded = sim::MachineCatalog::get("cascade-5218");
 
     const auto solo = pricing::measureSoloBaseline(
         dual, workload::functionByName("pager-py"));

@@ -17,6 +17,7 @@
 #include "core/poppa.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -30,7 +31,7 @@ main()
     const pricing::DiscountModel model(cal.congestion, cal.performance);
     const pricing::PricingEngine pricer(model);
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto subjects = workload::testSet();
     const unsigned reps = bench::reps(3);
 

@@ -1,25 +1,34 @@
 /**
  * @file
  * Shared helpers for the experiment benches: standard calibrations,
- * paper-vs-measured summary lines, and environment knobs.
+ * paper-vs-measured summary lines, machine-readable JSON artifacts,
+ * and environment knobs.
  *
  * Every bench prints the series the corresponding paper figure/table
  * reports, a `paper=` line with the headline numbers from the paper,
  * and a `measured=` line with ours, so EXPERIMENTS.md can be filled
- * by running the binaries.
+ * by running the binaries. Benches on the perf trajectory also write
+ * a BENCH_<name>.json artifact (BenchJson) that CI prints and
+ * uploads per run.
  */
 
 #ifndef LITMUS_BENCH_BENCH_UTIL_H
 #define LITMUS_BENCH_BENCH_UTIL_H
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/text_table.h"
 #include "core/experiment.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::bench
 {
@@ -40,17 +49,15 @@ calReps(unsigned fallback = 1)
 
 /**
  * The provider's dedicated-core calibration (Sections 6 / 7.1):
- * subject pinned to CPU 0, generators on CPUs 1..level.
+ * subject pinned to CPU 0, generators on CPUs 1..level. Levels scale
+ * with the machine's thread count (dedicatedCalibrationFor).
  */
 inline pricing::CalibrationConfig
 dedicatedCalibration(
-    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218())
+    sim::MachineConfig machine = sim::MachineCatalog::get("cascade-5218"))
 {
-    pricing::CalibrationConfig cfg;
-    cfg.machine = std::move(machine);
-    cfg.levels = {2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26};
-    cfg.subjectCpu = 0;
-    cfg.generatorFirstCpu = 1;
+    pricing::CalibrationConfig cfg =
+        pricing::dedicatedCalibrationFor(std::move(machine));
     cfg.repetitions = calReps();
     return cfg;
 }
@@ -62,7 +69,7 @@ dedicatedCalibration(
  */
 inline pricing::CalibrationConfig
 sharingCalibration(
-    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218(),
+    sim::MachineConfig machine = sim::MachineCatalog::get("cascade-5218"),
     unsigned pool_cpus = 5, unsigned sharing_functions = 50)
 {
     pricing::CalibrationConfig cfg;
@@ -86,7 +93,7 @@ sharingCalibration(
 inline pricing::ExperimentConfig
 pooledExperiment(unsigned co_runners = 160, unsigned pool_cpus = 16,
                  sim::MachineConfig machine =
-                     sim::MachineConfig::cascadeLake5218())
+                     sim::MachineCatalog::get("cascade-5218"))
 {
     pricing::ExperimentConfig cfg;
     cfg.machine = std::move(machine);
@@ -111,26 +118,116 @@ printPriceTable(const pricing::ExperimentResult &result)
     table.print(std::cout);
 }
 
+/**
+ * The standard summary footer: what the paper reports next to what
+ * this run measured, in two aligned greppable lines.
+ */
+inline void
+printPaperMeasured(std::ostream &os, const std::string &paper,
+                   const std::string &measured)
+{
+    os << "\npaper=    " << paper << "\n"
+       << "measured= " << measured << "\n";
+}
+
 /** Print the paper-vs-measured discount summary. */
 inline void
 printDiscountSummary(const pricing::ExperimentResult &result,
                      double paper_litmus_discount,
                      double paper_ideal_discount)
 {
-    std::cout << "\npaper=    litmus discount "
-              << TextTable::num(100 * paper_litmus_discount, 1)
-              << "%  ideal discount "
-              << TextTable::num(100 * paper_ideal_discount, 1) << "%\n"
-              << "measured= litmus discount "
-              << TextTable::num(100 * result.litmusDiscount(), 1)
-              << "%  ideal discount "
-              << TextTable::num(100 * result.idealDiscount(), 1)
-              << "%  gap "
-              << TextTable::num(100 * (result.idealDiscount() -
-                                       result.litmusDiscount()),
-                                1)
-              << "pp\n";
+    printPaperMeasured(
+        std::cout,
+        "litmus discount " +
+            TextTable::num(100 * paper_litmus_discount, 1) +
+            "%  ideal discount " +
+            TextTable::num(100 * paper_ideal_discount, 1) + "%",
+        "litmus discount " +
+            TextTable::num(100 * result.litmusDiscount(), 1) +
+            "%  ideal discount " +
+            TextTable::num(100 * result.idealDiscount(), 1) +
+            "%  gap " +
+            TextTable::num(100 * (result.idealDiscount() -
+                                  result.litmusDiscount()),
+                           1) +
+            "pp");
 }
+
+/**
+ * Machine-readable bench artifact: grouped numeric metrics written as
+ * one JSON object per group, in insertion order. The output path
+ * defaults to BENCH_<name>.json in the working directory;
+ * LITMUS_BENCH_JSON overrides it (shared by every bench, so CI can
+ * redirect a single bench's artifact).
+ */
+class BenchJson
+{
+  public:
+    /** @param default_path e.g. "BENCH_engine.json" */
+    explicit BenchJson(std::string default_path)
+        : path_(std::move(default_path))
+    {
+        const char *env = std::getenv("LITMUS_BENCH_JSON");
+        if (env && *env)
+            path_ = env;
+    }
+
+    /** Record one metric under a group ("" = top level). */
+    void metric(const std::string &group, const std::string &key,
+                double value)
+    {
+        groupFor(group).emplace_back(key, value);
+    }
+
+    /** Write the artifact; fatal() when unwritable. */
+    void write(std::ostream &echo = std::cout) const
+    {
+        std::ofstream json(path_);
+        if (!json)
+            fatal("BenchJson: cannot write ", path_);
+        json << std::setprecision(17) << "{\n";
+        bool first = true;
+        for (const auto &[group, metrics] : groups_) {
+            if (!group.empty()) {
+                json << (first ? "" : ",\n") << "  \"" << group
+                     << "\": {\n";
+                first = false;
+                for (std::size_t i = 0; i < metrics.size(); ++i) {
+                    json << "    \"" << metrics[i].first
+                         << "\": " << metrics[i].second
+                         << (i + 1 < metrics.size() ? ",\n" : "\n");
+                }
+                json << "  }";
+            } else {
+                for (const auto &[key, value] : metrics) {
+                    json << (first ? "" : ",\n") << "  \"" << key
+                         << "\": " << value;
+                    first = false;
+                }
+            }
+        }
+        json << "\n}\n";
+        echo << "json written to " << path_ << "\n";
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    using Metrics = std::vector<std::pair<std::string, double>>;
+
+    Metrics &groupFor(const std::string &group)
+    {
+        for (auto &[name, metrics] : groups_) {
+            if (name == group)
+                return metrics;
+        }
+        groups_.emplace_back(group, Metrics{});
+        return groups_.back().second;
+    }
+
+    std::string path_;
+    std::vector<std::pair<std::string, Metrics>> groups_;
+};
 
 } // namespace litmus::bench
 

@@ -15,6 +15,7 @@
 #include "sim/machine.h"
 #include "workload/suite.h"
 #include "workload/traffic_gen.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -31,7 +32,7 @@ struct Rates
 Rates
 measureGenerator(workload::GeneratorKind kind, unsigned level)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
     workload::spawnGenerator(engine, kind, level, 0);
     engine.run(0.02);
@@ -44,7 +45,7 @@ measureGenerator(workload::GeneratorKind kind, unsigned level)
 Rates
 suiteAverage()
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     double l2 = 0, l3 = 0;
     const auto &suite = workload::table1Suite();
     for (const auto &spec : suite) {

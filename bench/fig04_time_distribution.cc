@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -21,7 +22,7 @@ main()
     printBanner(std::cout,
                 "Figure 4: T_private / T_shared distribution (solo)");
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
 
     TextTable table({"function", "Tprivate %", "Tshared %"});
     double meanShared = 0;

@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "workload/runtime_startup.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -21,7 +22,7 @@ namespace
 std::vector<double>
 sampleStartupIpc(workload::Language lang)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
     sim::Task &task = engine.add(std::make_unique<workload::ProgramTask>(
         "startup", workload::startupProgram(lang)));

@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -27,7 +28,7 @@ main()
     const auto cal = pricing::calibrate(bench::dedicatedCalibration());
     const pricing::DiscountModel model(cal.congestion, cal.performance);
 
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
 
     // Light background: 6 compute-bound functions, churned.

@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/traffic_gen.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -23,7 +24,7 @@ main()
     printBanner(std::cout,
                 "Figure 8: reference slowdowns at MB-Gen level 14");
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto refs = workload::referenceSet();
 
     TextTable table({"function", "Tprivate", "Tshared", "Ttotal"});

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -23,7 +24,7 @@ namespace
 double
 measuredInflation(unsigned n)
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto &spec = workload::functionByName("aes-py");
     const auto solo = pricing::measureSoloBaseline(machine, spec);
 
@@ -67,7 +68,7 @@ main()
     printBanner(std::cout,
                 "Figure 14: temporal-sharing T_private overhead");
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     sim::OsScheduler sched(machine);
 
     TextTable table({"co-runners/core", "warmth model",

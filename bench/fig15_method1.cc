@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "core/calibration.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -27,7 +28,7 @@ main()
     auto cfg = bench::pooledExperiment(160, 16);
     // Average 10 functions per core: divide T_private by the Figure 14
     // warmth factor before consulting the tables (Section 7.2).
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     sim::OsScheduler sched(machine);
     cfg.sharingFactor = sched.warmthForCount(10);
 

@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "core/calibration.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -20,7 +21,7 @@ main()
     printBanner(std::cout,
                 "Figure 19: Ice Lake (Xeon Silver 4314), 70 co-runners");
 
-    const auto machine = sim::MachineConfig::iceLake4314();
+    const auto machine = sim::MachineCatalog::get("icelake-4314");
 
     std::cout << "calibrating (Method 2 on Ice Lake)...\n";
     const auto cal =

@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "core/calibration.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -20,7 +21,7 @@ main()
 {
     printBanner(std::cout, "Figure 21: SMT enabled, 160 co-runners");
 
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     machine.cores = 16;
     machine.smtWays = 2; // 32 hardware threads
 

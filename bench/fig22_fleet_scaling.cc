@@ -32,7 +32,7 @@ fleetConfig(unsigned machines, cluster::DispatchPolicy policy,
             std::uint64_t per_machine, double rate_per_machine)
 {
     cluster::ClusterConfig cfg;
-    cfg.machines = machines;
+    cfg.fleet = {{"cascade-5218", machines}};
     cfg.policy = policy;
     cfg.arrivalsPerSecond = rate_per_machine * machines;
     cfg.invocations = per_machine * machines;
@@ -131,20 +131,27 @@ main()
                      threadedReport.billedCpuSeconds, 6)
               << "\n";
 
-    std::cout
-        << "\npaper=    n/a (fleet extension; single-machine Litmus "
-           "only) — expect near-linear weak scaling and "
-           "warmth-aware < round-robin cold starts\n"
-        << "measured= throughput x"
-        << TextTable::num(throughput1 > 0
-                              ? throughput16 / throughput1
-                              : 0.0,
-                          2)
-        << " from 1 to 16 machines, cold starts "
-        << TextTable::num(100 * coldRr16, 1) << "% (round-robin) vs "
-        << TextTable::num(100 * coldWarm16, 1)
-        << "% (warmth-aware), max price-conservation error "
-        << TextTable::num(worstConservation, 9) << "\n";
+    bench::printPaperMeasured(
+        std::cout,
+        "n/a (fleet extension; single-machine Litmus only) — expect "
+        "near-linear weak scaling and warmth-aware < round-robin "
+        "cold starts",
+        "throughput x" +
+            TextTable::num(
+                throughput1 > 0 ? throughput16 / throughput1 : 0.0, 2) +
+            " from 1 to 16 machines, cold starts " +
+            TextTable::num(100 * coldRr16, 1) + "% (round-robin) vs " +
+            TextTable::num(100 * coldWarm16, 1) +
+            "% (warmth-aware), max price-conservation error " +
+            TextTable::num(worstConservation, 9));
+
+    bench::BenchJson json("BENCH_fleet.json");
+    json.metric("", "scaling_throughput_x",
+                throughput1 > 0 ? throughput16 / throughput1 : 0.0);
+    json.metric("", "cold_rate_rr_16", coldRr16);
+    json.metric("", "cold_rate_warmth_16", coldWarm16);
+    json.metric("", "max_conservation_error", worstConservation);
+    json.write();
 
     if (worstConservation > 1e-6)
         fatal("fig22: fleet billing conservation violated (",

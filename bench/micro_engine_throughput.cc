@@ -41,6 +41,7 @@
 #include "bench_util.h"
 #include "cluster/cluster.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -122,7 +123,7 @@ ModeResult
 runSteady(bool fast_forward, Seconds sim_seconds)
 {
     const Seconds quantum = 50e-6;
-    auto cfg = sim::MachineConfig::cascadeLake5218();
+    auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
     engine.setFastForward(fast_forward);
 
@@ -153,11 +154,12 @@ ModeResult
 runFleet(bool fast_forward, std::uint64_t per_machine, double rate)
 {
     const Seconds quantum = 50e-6;
+    const unsigned machines = 4;
     cluster::ClusterConfig cfg;
-    cfg.machines = 4;
+    cfg.fleet = {{"cascade-5218", machines}};
     cfg.policy = cluster::DispatchPolicy::WarmthAware;
-    cfg.arrivalsPerSecond = rate * cfg.machines;
-    cfg.invocations = per_machine * cfg.machines;
+    cfg.arrivalsPerSecond = rate * machines;
+    cfg.invocations = per_machine * machines;
     cfg.keepAlive = 10.0;
     cfg.seed = 7;
     cfg.threads = 1; // serial: the wall-clock ratio measures the
@@ -167,7 +169,7 @@ runFleet(bool fast_forward, std::uint64_t per_machine, double rate)
     cluster::Cluster fleet(cfg);
     ModeResult r;
     r.wall = wallSeconds([&] { fleet.run(); });
-    for (unsigned m = 0; m < cfg.machines; ++m) {
+    for (unsigned m = 0; m < machines; ++m) {
         const sim::Engine &engine = fleet.engine(m);
         r.simSeconds += engine.now();
         accumulateEngine(r, engine);
@@ -188,21 +190,20 @@ addRow(TextTable &table, const std::string &scenario,
 }
 
 void
-writeJsonScenario(std::ostream &os, const std::string &name,
-                  const ModeResult &exact, const ModeResult &fast)
+jsonScenario(bench::BenchJson &json, const std::string &name,
+             const ModeResult &exact, const ModeResult &fast)
 {
-    os << "  \"" << name << "\": {\n"
-       << "    \"sim_per_wall_exact\": " << exact.simPerWall() << ",\n"
-       << "    \"sim_per_wall_ff\": " << fast.simPerWall() << ",\n"
-       << "    \"speedup\": "
-       << (exact.wall > 0 && fast.wall > 0 ? exact.wall / fast.wall : 0)
-       << ",\n"
-       << "    \"quanta\": " << fast.quanta << ",\n"
-       << "    \"ff_quanta\": " << fast.ffQuanta << ",\n"
-       << "    \"solves_exact\": " << exact.solves << ",\n"
-       << "    \"solves_ff\": " << fast.solves << ",\n"
-       << "    \"solve_memo_hits\": " << fast.memoHits << "\n"
-       << "  }";
+    json.metric(name, "sim_per_wall_exact", exact.simPerWall());
+    json.metric(name, "sim_per_wall_ff", fast.simPerWall());
+    json.metric(name, "speedup",
+                exact.wall > 0 && fast.wall > 0
+                    ? exact.wall / fast.wall
+                    : 0);
+    json.metric(name, "quanta", fast.quanta);
+    json.metric(name, "ff_quanta", fast.ffQuanta);
+    json.metric(name, "solves_exact", exact.solves);
+    json.metric(name, "solves_ff", fast.solves);
+    json.metric(name, "solve_memo_hits", fast.memoHits);
 }
 
 } // namespace
@@ -276,35 +277,28 @@ main()
     const double fleetSpeedup =
         fleetFast.wall > 0 ? fleetExact.wall / fleetFast.wall : 0;
 
-    std::cout << "\npaper=    n/a (engineering target: >= 5x steady, "
-                 ">= 2x fleet, bit-identical output)\n"
-              << "measured= steady x"
-              << TextTable::num(steadySpeedup, 1) << " ("
-              << TextTable::num(steadyFast.simPerWall(), 0)
-              << " vs " << TextTable::num(steadyExact.simPerWall(), 0)
-              << " sim s/wall s), fleet x"
-              << TextTable::num(fleetSpeedup, 1) << ", replay rate "
-              << TextTable::num(
-                     100.0 * steadyFast.ffQuanta / steadyFast.quanta, 1)
-              << "% steady / "
-              << TextTable::num(
-                     100.0 * fleetFast.ffQuanta / fleetFast.quanta, 1)
-              << "% fleet, solver calls "
-              << TextTable::num(fleetFast.solves, 0) << " of "
-              << TextTable::num(fleetExact.solves, 0) << "\n";
+    bench::printPaperMeasured(
+        std::cout,
+        "n/a (engineering target: >= 5x steady, >= 2x fleet, "
+        "bit-identical output)",
+        "steady x" + TextTable::num(steadySpeedup, 1) + " (" +
+            TextTable::num(steadyFast.simPerWall(), 0) + " vs " +
+            TextTable::num(steadyExact.simPerWall(), 0) +
+            " sim s/wall s), fleet x" +
+            TextTable::num(fleetSpeedup, 1) + ", replay rate " +
+            TextTable::num(
+                100.0 * steadyFast.ffQuanta / steadyFast.quanta, 1) +
+            "% steady / " +
+            TextTable::num(
+                100.0 * fleetFast.ffQuanta / fleetFast.quanta, 1) +
+            "% fleet, solver calls " +
+            TextTable::num(fleetFast.solves, 0) + " of " +
+            TextTable::num(fleetExact.solves, 0));
 
-    const char *jsonEnv = std::getenv("LITMUS_BENCH_JSON");
-    const std::string jsonPath =
-        jsonEnv && *jsonEnv ? jsonEnv : "BENCH_engine.json";
-    std::ofstream json(jsonPath);
-    if (!json)
-        fatal("micro_engine_throughput: cannot write ", jsonPath);
-    json << "{\n";
-    writeJsonScenario(json, "steady", steadyExact, steadyFast);
-    json << ",\n";
-    writeJsonScenario(json, "fleet", fleetExact, fleetFast);
-    json << "\n}\n";
-    std::cout << "json written to " << jsonPath << "\n";
+    bench::BenchJson json("BENCH_engine.json");
+    jsonScenario(json, "steady", steadyExact, steadyFast);
+    jsonScenario(json, "fleet", fleetExact, fleetFast);
+    json.write();
 
     if (strict) {
         if (steadySpeedup < 5.0)

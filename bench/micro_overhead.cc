@@ -12,6 +12,7 @@
 #include "core/pricing_model.h"
 #include "sim/contention.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 using workload::GeneratorKind;
@@ -120,7 +121,7 @@ BENCHMARK(BM_ProbeRead);
 void
 BM_ContentionSolve(benchmark::State &state)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     const sim::ContentionSolver solver(cfg);
     std::vector<sim::SolverInput> inputs(
         static_cast<std::size_t>(state.range(0)));
@@ -143,7 +144,7 @@ BM_EngineQuantum(benchmark::State &state)
 {
     // Cost of one simulated quantum with N busy hardware threads —
     // the simulator's own hot path.
-    auto cfg = sim::MachineConfig::cascadeLake5218();
+    auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
     const auto n = static_cast<unsigned>(state.range(0));
     for (unsigned i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -18,7 +19,7 @@ main()
     printBanner(std::cout,
                 "Table 1: serverless benchmarks & language runtimes");
 
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
 
     TextTable table({"function", "language", "role", "body Minstr",
                      "L2 MPKI", "L3 ws MiB", "solo shared-share"});

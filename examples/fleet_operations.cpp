@@ -20,6 +20,7 @@
 #include "core/table_io.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -92,7 +93,7 @@ serveScenario(const sim::MachineConfig &machine,
 int
 main()
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const std::string artifact = "/tmp/litmus-fleet-tables.txt";
 
     printBanner(std::cout, "Fleet operations: calibrate once, deploy, "
@@ -104,16 +105,18 @@ main()
     pricing::CalibrationConfig ccfg;
     ccfg.machine = machine;
     ccfg.levels = {2, 4, 6};
-    const auto tables = pricing::calibrate(ccfg);
-    pricing::saveTables(artifact, tables.congestion,
-                        tables.performance);
-    std::cout << "tables saved to " << artifact << "\n";
+    const auto profile = pricing::calibrate(ccfg);
+    pricing::saveProfile(artifact, profile);
+    std::cout << "profile for " << profile.machine << " saved to "
+              << artifact << "\n";
 
-    // 2. Reload (as the pricing service on another node would).
-    const auto loaded = pricing::loadTables(artifact);
-    const pricing::DiscountModel model(loaded.congestion,
-                                       loaded.performance);
-    std::cout << "tables reloaded; model rebuilt without re-sweep\n\n";
+    // 2. Reload (as the pricing service on another node would). The
+    //    profile remembers its machine type, so a mismatched load
+    //    would refuse instead of mispricing.
+    const auto loaded = pricing::loadProfile(artifact);
+    loaded.requireMachine(machine.name);
+    const pricing::DiscountModel model(loaded);
+    std::cout << "profile reloaded; model rebuilt without re-sweep\n\n";
 
     // 3. Normal operation: mixed workload, light machine.
     std::cout << "serving scenarios:\n";

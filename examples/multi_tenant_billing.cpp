@@ -15,6 +15,7 @@
 #include "core/calibration.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
@@ -33,7 +34,7 @@ struct Tenant
 int
 main()
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
 
     printBanner(std::cout, "Multi-tenant billing demo");
 

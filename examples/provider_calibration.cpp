@@ -11,6 +11,7 @@
 #include "common/text_table.h"
 #include "core/calibration.h"
 #include "core/discount_model.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 using workload::GeneratorKind;
@@ -19,7 +20,7 @@ using workload::Language;
 int
 main()
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
 
     printBanner(std::cout,
                 "Provider calibration on " + machine.name);

@@ -18,13 +18,14 @@
 #include "core/pricing_model.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 using namespace litmus;
 
 int
 main()
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
 
     // --- Step 1: provider-side calibration ---------------------------
     std::cout << "Calibrating congestion/performance tables "

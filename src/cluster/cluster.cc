@@ -8,16 +8,39 @@
 #include "cluster/epoch_pool.h"
 #include "common/logging.h"
 #include "core/litmus_probe.h"
+#include "sim/machine_catalog.h"
 #include "workload/suite.h"
 
 namespace litmus::cluster
 {
 
+unsigned
+ClusterConfig::totalMachines() const
+{
+    unsigned total = 0;
+    for (const MachineGroup &group : fleet)
+        total += group.count;
+    return total;
+}
+
 void
 ClusterConfig::validate() const
 {
-    if (machines == 0)
-        fatal("ClusterConfig: need at least one machine");
+    if (fleet.empty())
+        fatal("ClusterConfig: fleet spec is empty — need at least "
+              "one machine group, e.g. {\"cascade-5218\", 4}");
+    for (const MachineGroup &group : fleet) {
+        if (group.count == 0)
+            fatal("ClusterConfig: machine group '", group.machine,
+                  "' has zero machines — drop the group or give it a "
+                  "positive count");
+        // Resolving an unknown name fatal()s with the catalog listing.
+        (void)sim::MachineCatalog::get(group.machine);
+    }
+    if (functionPool.empty())
+        fatal("ClusterConfig: functionPool is empty — traffic needs "
+              "at least one function to sample (the default is "
+              "workload::allFunctions())");
     if (arrivalsPerSecond <= 0)
         fatal("ClusterConfig: arrival rate must be positive");
     if (invocations == 0)
@@ -30,7 +53,6 @@ ClusterConfig::validate() const
         fatal("ClusterConfig: drain cap must be positive");
     if (sharingFactor <= 0)
         fatal("ClusterConfig: sharing factor must be positive");
-    machine.validate();
 }
 
 Seconds
@@ -68,8 +90,10 @@ struct Cluster::Machine
         Seconds completionTime = 0;
     };
 
-    Machine(unsigned idx, const ClusterConfig &cfg)
-        : index(idx), engine(cfg.machine), ledger(cfg.billing)
+    Machine(unsigned idx, sim::MachineConfig machine_config,
+            const ClusterConfig &cfg)
+        : index(idx), config(std::move(machine_config)),
+          engine(config), ledger(cfg.billing)
     {
         engine.onCompletion([this](sim::Task &task) {
             const auto it = live.find(task.id());
@@ -89,8 +113,16 @@ struct Cluster::Machine
     }
 
     unsigned index;
+
+    /** The machine's hardware description; config.name is its type. */
+    sim::MachineConfig config;
+
     sim::Engine engine;
     pricing::BillingLedger ledger;
+
+    /** Discount model bound to this machine's type (null = bill
+     *  commercially). Borrowed from the config. */
+    const pricing::DiscountModel *discountModel = nullptr;
 
     /** Task id -> invocation bookkeeping (worker-thread local). */
     std::unordered_map<std::uint64_t, Live> live;
@@ -121,14 +153,58 @@ Cluster::Cluster(ClusterConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed)
 {
     cfg_.validate();
-    if (cfg_.functionPool.empty())
-        cfg_.functionPool = workload::allFunctions();
     dispatcher_ = makeDispatcher(cfg_.policy);
-    machines_.reserve(cfg_.machines);
-    for (unsigned i = 0; i < cfg_.machines; ++i) {
-        machines_.push_back(std::make_unique<Machine>(i, cfg_));
-        if (cfg_.exactQuantum)
-            machines_.back()->engine.setFastForward(false);
+
+    // Fleet groups and discount-model keys may both use catalog
+    // aliases; canonical MachineConfig::name is the one identity
+    // everything (binding, reports, profiles) agrees on.
+    const auto canonical = [](const std::string &name) {
+        return sim::MachineCatalog::has(name)
+                   ? sim::MachineCatalog::get(name).name
+                   : name;
+    };
+    std::map<std::string, const pricing::DiscountModel *> modelsByType;
+    for (const auto &[key, model] : cfg_.discountModels) {
+        if (!model)
+            continue;
+        const std::string type = canonical(key);
+        const auto [it, inserted] = modelsByType.emplace(type, model);
+        if (!inserted && it->second != model)
+            fatal("ClusterConfig: two discount models bound to "
+                  "machine type '", type, "' (one under an alias) — "
+                  "keep one per type");
+    }
+
+    machines_.reserve(cfg_.totalMachines());
+    for (const MachineGroup &group : cfg_.fleet) {
+        const sim::MachineConfig machine =
+            sim::MachineCatalog::get(group.machine);
+        // Bind this type's discount model once per group; a profile
+        // calibrated on a different generation must not price it.
+        const pricing::DiscountModel *model = nullptr;
+        const auto it = modelsByType.find(machine.name);
+        if (it != modelsByType.end()) {
+            it->second->requireMachine(machine.name);
+            model = it->second;
+        }
+        for (unsigned i = 0; i < group.count; ++i) {
+            const unsigned index =
+                static_cast<unsigned>(machines_.size());
+            machines_.push_back(
+                std::make_unique<Machine>(index, machine, cfg_));
+            machines_.back()->discountModel = model;
+            if (cfg_.exactQuantum)
+                machines_.back()->engine.setFastForward(false);
+        }
+    }
+    for (const auto &[type, model] : modelsByType) {
+        if (!std::any_of(cfg_.fleet.begin(), cfg_.fleet.end(),
+                         [&](const MachineGroup &g) {
+                             return canonical(g.machine) == type;
+                         })) {
+            fatal("ClusterConfig: discount model bound to '", type,
+                  "', which is not in the fleet spec");
+        }
     }
 }
 
@@ -170,9 +246,12 @@ Cluster::snapshots() const
     for (const auto &m : machines_) {
         MachineSnapshot snap;
         snap.index = m->index;
+        snap.type = m->config.name;
+        snap.cores = m->config.cores;
+        snap.baseFrequency = m->config.baseFrequency;
         snap.liveTasks = static_cast<unsigned>(m->engine.taskCount());
         snap.committedMemory = m->committedMemory;
-        snap.memoryCapacity = cfg_.machine.memoryCapacity;
+        snap.memoryCapacity = m->config.memoryCapacity;
         snap.warmIdle = &m->warmIdle;
         out.push_back(snap);
     }
@@ -255,9 +334,8 @@ Cluster::harvest(Seconds now)
             // cold invocation with a completed Litmus probe earns the
             // model's discounted rates.
             pricing::DiscountEstimate estimate;
-            if (cfg_.discountModel && !done.warm &&
-                done.probe.complete) {
-                estimate = cfg_.discountModel->estimate(
+            if (m.discountModel && !done.warm && done.probe.complete) {
+                estimate = m.discountModel->estimate(
                     pricing::readProbe(done.probe),
                     done.spec->language, cfg_.sharingFactor);
             }
@@ -427,6 +505,7 @@ Cluster::run()
         const Machine &m = *mp;
         MachineReport mr;
         mr.index = m.index;
+        mr.type = m.config.name;
         mr.dispatched = m.dispatched;
         mr.coldStarts = m.coldStarts;
         mr.warmStarts = m.warmStarts;
@@ -441,6 +520,34 @@ Cluster::run()
         report_.commercialUsd += mr.commercialUsd;
         report_.litmusUsd += mr.litmusUsd;
         report_.machines.push_back(mr);
+    }
+
+    // Per-type revenue/discount breakdown, merged by type in
+    // first-seen order (a type split across several fleet groups
+    // still gets one row), folded in machine order like the fleet
+    // sums.
+    report_.types.clear();
+    for (const MachineReport &mr : report_.machines) {
+        auto slot = std::find_if(report_.types.begin(),
+                                 report_.types.end(),
+                                 [&](const TypeReport &t) {
+                                     return t.type == mr.type;
+                                 });
+        if (slot == report_.types.end()) {
+            TypeReport fresh;
+            fresh.type = mr.type;
+            report_.types.push_back(fresh);
+            slot = report_.types.end() - 1;
+        }
+        TypeReport &tr = *slot;
+        ++tr.machines;
+        tr.dispatched += mr.dispatched;
+        tr.coldStarts += mr.coldStarts;
+        tr.warmStarts += mr.warmStarts;
+        tr.completions += mr.completions;
+        tr.billedCpuSeconds += mr.billedCpuSeconds;
+        tr.commercialUsd += mr.commercialUsd;
+        tr.litmusUsd += mr.litmusUsd;
     }
 
     ran_ = true;

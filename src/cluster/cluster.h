@@ -30,6 +30,7 @@
 #ifndef LITMUS_CLUSTER_CLUSTER_H
 #define LITMUS_CLUSTER_CLUSTER_H
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,18 +38,31 @@
 #include "core/billing.h"
 #include "core/discount_model.h"
 #include "sim/engine.h"
+#include "workload/suite.h"
 
 namespace litmus::cluster
 {
 
+/** One homogeneous slice of a (possibly mixed) fleet. */
+struct MachineGroup
+{
+    /** Machine type: a MachineCatalog name. */
+    std::string machine;
+
+    /** Machines of this type. */
+    unsigned count = 1;
+};
+
 /** Fleet configuration. */
 struct ClusterConfig
 {
-    /** Machines in the fleet. */
-    unsigned machines = 4;
-
-    /** Per-machine hardware description (homogeneous fleet). */
-    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218();
+    /**
+     * The fleet, as machine-type groups resolved through
+     * MachineCatalog — {"cascade-5218", 8}, {"icelake-4314", 8} is
+     * the paper's two testbeds serving side by side. Machines are
+     * indexed group by group in spec order.
+     */
+    std::vector<MachineGroup> fleet = {{"cascade-5218", 4}};
 
     /** Routing policy. */
     DispatchPolicy policy = DispatchPolicy::RoundRobin;
@@ -60,8 +74,10 @@ struct ClusterConfig
     /** Total arrivals to generate. */
     std::uint64_t invocations = 10000;
 
-    /** Sampling pool (defaults to the whole Table 1 suite). */
-    std::vector<const workload::FunctionSpec *> functionPool;
+    /** Sampling pool (the whole Table 1 suite by default; an
+     *  explicitly empty pool is a validate() error). */
+    std::vector<const workload::FunctionSpec *> functionPool =
+        workload::allFunctions();
 
     /** Seed for the arrival trace and per-invocation jitter. */
     std::uint64_t seed = 1;
@@ -103,18 +119,24 @@ struct ClusterConfig
 
     /** @name Fleet billing @{ */
     /**
-     * Optional calibrated discount model: cold invocations carrying a
-     * completed Litmus probe are charged the Litmus price; warm and
-     * unprobed invocations pay the commercial price. Borrowed; must
-     * outlive the cluster. Null = commercial pricing everywhere.
+     * Optional calibrated discount models, one per machine type
+     * (keyed by catalog name): cold invocations carrying a completed
+     * Litmus probe are charged the Litmus price; warm and unprobed
+     * invocations — and machines of a type with no model — pay the
+     * commercial price. Each model's profile must match its machine
+     * type (fatal() otherwise). Borrowed; must outlive the cluster.
      */
-    const pricing::DiscountModel *discountModel = nullptr;
+    std::map<std::string, const pricing::DiscountModel *>
+        discountModels;
 
     /** Method 1 sharing factor for Litmus quotes. */
     double sharingFactor = 1.0;
 
     pricing::BillingConfig billing;
     /** @} */
+
+    /** Total machines across all groups. */
+    unsigned totalMachines() const;
 
     void validate() const;
 };
@@ -123,6 +145,9 @@ struct ClusterConfig
 struct MachineReport
 {
     unsigned index = 0;
+
+    /** Machine type (catalog name). */
+    std::string type;
 
     std::uint64_t dispatched = 0;
     std::uint64_t coldStarts = 0;
@@ -143,10 +168,40 @@ struct MachineReport
     double quanta = 0;
 };
 
+/** Per-machine-type slice of the fleet report (revenue/discount
+ *  breakdown for heterogeneous fleets). */
+struct TypeReport
+{
+    /** Machine type (catalog name). */
+    std::string type;
+
+    /** Machines of this type in the fleet. */
+    unsigned machines = 0;
+
+    std::uint64_t dispatched = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmStarts = 0;
+    std::uint64_t completions = 0;
+
+    Seconds billedCpuSeconds = 0;
+    double commercialUsd = 0;
+    double litmusUsd = 0;
+
+    /** Type discount (1 - litmus/commercial revenue). */
+    double discount() const
+    {
+        return commercialUsd > 0 ? 1.0 - litmusUsd / commercialUsd : 0.0;
+    }
+};
+
 /** Fleet-wide aggregation. */
 struct FleetReport
 {
     std::vector<MachineReport> machines;
+
+    /** Per-machine-type breakdown, in fleet-spec order. Sums match
+     *  the per-machine reports exactly (same accumulation order). */
+    std::vector<TypeReport> types;
 
     std::uint64_t arrivals = 0;
     std::uint64_t dispatched = 0;

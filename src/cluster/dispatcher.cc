@@ -17,6 +17,8 @@ policyName(DispatchPolicy policy)
         return "least-loaded";
     case DispatchPolicy::WarmthAware:
         return "warmth-aware";
+    case DispatchPolicy::CostAware:
+        return "cost-aware";
     }
     fatal("policyName: unknown policy");
 }
@@ -30,8 +32,11 @@ policyByName(const std::string &name)
         return DispatchPolicy::LeastLoaded;
     if (name == "warmth-aware" || name == "warmth")
         return DispatchPolicy::WarmthAware;
+    if (name == "cost-aware" || name == "cost")
+        return DispatchPolicy::CostAware;
     fatal("policyByName: unknown dispatch policy '", name,
-          "' (want round-robin | least-loaded | warmth-aware)");
+          "' (want round-robin | least-loaded | warmth-aware | "
+          "cost-aware)");
 }
 
 const std::vector<DispatchPolicy> &
@@ -41,6 +46,7 @@ allPolicies()
         DispatchPolicy::RoundRobin,
         DispatchPolicy::LeastLoaded,
         DispatchPolicy::WarmthAware,
+        DispatchPolicy::CostAware,
     };
     return policies;
 }
@@ -135,6 +141,34 @@ class WarmthAwareDispatcher final : public Dispatcher
     }
 };
 
+class CostAwareDispatcher final : public Dispatcher
+{
+  public:
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::CostAware;
+    }
+
+    unsigned pick(const Invocation &,
+                  const std::vector<MachineSnapshot> &machines) override
+    {
+        // Cheapest predicted completion wins: a slower machine with
+        // idle cores beats a faster one whose cores already
+        // time-share. Strict < keeps ties on the lowest index, so
+        // routing is deterministic.
+        unsigned best = 0;
+        double bestCost = std::numeric_limits<double>::infinity();
+        for (const MachineSnapshot &m : machines) {
+            const double cost = m.predictedCost();
+            if (cost < bestCost) {
+                bestCost = cost;
+                best = m.index;
+            }
+        }
+        return best;
+    }
+};
+
 } // namespace
 
 std::unique_ptr<Dispatcher>
@@ -147,6 +181,8 @@ makeDispatcher(DispatchPolicy policy)
         return std::make_unique<LeastLoadedDispatcher>();
     case DispatchPolicy::WarmthAware:
         return std::make_unique<WarmthAwareDispatcher>();
+    case DispatchPolicy::CostAware:
+        return std::make_unique<CostAwareDispatcher>();
     }
     fatal("makeDispatcher: unknown policy");
 }

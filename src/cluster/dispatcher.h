@@ -8,12 +8,17 @@
  * deterministic regardless of how many worker threads advance the
  * engines between barriers.
  *
- * Three policies ship:
+ * Four policies ship:
  *  - RoundRobin:   rotate through machines, ignoring state;
  *  - LeastLoaded:  fewest live tasks wins (ties to the lowest index);
  *  - WarmthAware:  prefer machines holding an idle warm container for
  *    the function (skipping its language startup entirely), falling
- *    back to least-loaded when everyone is cold.
+ *    back to least-loaded when everyone is cold;
+ *  - CostAware:    heterogeneous fleets — estimate the invocation's
+ *    relative completion time on every machine from its clock speed
+ *    and core oversubscription, so a fast-but-crowded Cascade Lake
+ *    loses to an idle Ice Lake exactly when the predicted slowdown
+ *    says it should.
  */
 
 #ifndef LITMUS_CLUSTER_DISPATCHER_H
@@ -22,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -36,12 +42,15 @@ enum class DispatchPolicy
     RoundRobin,
     LeastLoaded,
     WarmthAware,
+    CostAware,
 };
 
-/** Display name: "round-robin" / "least-loaded" / "warmth-aware". */
+/** Display name: "round-robin" / "least-loaded" / "warmth-aware" /
+ *  "cost-aware". */
 std::string policyName(DispatchPolicy policy);
 
-/** Parse a policy name (also accepts "rr" / "ll" / "warmth"). */
+/** Parse a policy name (also accepts "rr" / "ll" / "warmth" /
+ *  "cost"). */
 DispatchPolicy policyByName(const std::string &name);
 
 /** One fleet arrival awaiting dispatch. */
@@ -67,6 +76,16 @@ struct MachineSnapshot
 {
     unsigned index = 0;
 
+    /** Machine type (catalog name) — heterogeneous fleets route on
+     *  it. Borrowed from the cluster; valid during pick(). */
+    std::string_view type;
+
+    /** Physical cores (oversubscription denominator). */
+    unsigned cores = 1;
+
+    /** Nominal clock (Hz); the cost policy's speed axis. */
+    double baseFrequency = 1.0;
+
     /** Live (queued or running) tasks on the machine. */
     unsigned liveTasks = 0;
 
@@ -87,6 +106,20 @@ struct MachineSnapshot
     bool fits(Bytes footprint) const
     {
         return committedMemory + footprint <= memoryCapacity;
+    }
+
+    /**
+     * Predicted relative completion time of one more task here: the
+     * core-oversubscription slowdown (time-sharing beyond one task
+     * per core) divided by the clock. Lower is faster; the number is
+     * only meaningful relative to other machines' costs.
+     */
+    double predictedCost() const
+    {
+        const double occupancy =
+            (liveTasks + 1.0) / (cores > 0 ? cores : 1u);
+        const double slowdown = occupancy > 1.0 ? occupancy : 1.0;
+        return slowdown / (baseFrequency > 0 ? baseFrequency : 1.0);
     }
 };
 

@@ -104,6 +104,10 @@ void
 CalibrationConfig::validate() const
 {
     machine.validate();
+    if (referencePool.empty())
+        fatal("CalibrationConfig: referencePool is empty — the "
+              "performance table needs at least one reference "
+              "function (the default is workload::referenceSet())");
     if (levels.empty())
         fatal("CalibrationConfig: no stress levels");
     for (std::size_t i = 1; i < levels.size(); ++i) {
@@ -130,6 +134,48 @@ CalibrationConfig::validate() const
         fatal("CalibrationConfig: repetitions must be positive");
 }
 
+void
+requireMachineMatch(const std::string &calibrated,
+                    const std::string &machine_name,
+                    const char *context)
+{
+    if (!calibrated.empty() && !machine_name.empty() &&
+        calibrated != machine_name) {
+        fatal(context, ": calibrated on '", calibrated,
+              "' but asked to price '", machine_name,
+              "' — use the profile for that machine type");
+    }
+}
+
+void
+CalibrationProfile::requireMachine(const std::string &machine_name) const
+{
+    requireMachineMatch(machine, machine_name, "CalibrationProfile");
+}
+
+CalibrationConfig
+dedicatedCalibrationFor(sim::MachineConfig machine)
+{
+    CalibrationConfig cfg;
+    cfg.machine = std::move(machine);
+    cfg.subjectCpu = 0;
+    cfg.generatorFirstCpu = 1;
+    cfg.levels.clear();
+    // Generators occupy CPUs 1..level, so the deepest level is one
+    // short of the thread count; the paper sweeps to 26.
+    if (cfg.machine.hwThreads() < 3) {
+        fatal("dedicatedCalibrationFor: machine '", cfg.machine.name,
+              "' has only ", cfg.machine.hwThreads(), " hardware "
+              "thread(s) — the dedicated sweep needs at least 3 "
+              "(subject + 2 generators)");
+    }
+    const unsigned maxLevel =
+        std::min(26u, cfg.machine.hwThreads() - 1);
+    for (unsigned level = 2; level <= maxLevel; level += 2)
+        cfg.levels.push_back(level);
+    return cfg;
+}
+
 SoloBaseline
 measureSoloBaseline(const sim::MachineConfig &machine,
                     const FunctionSpec &spec,
@@ -146,15 +192,14 @@ measureSoloBaseline(const sim::MachineConfig &machine,
     return solo;
 }
 
-CalibrationResult
+CalibrationProfile
 calibrate(const CalibrationConfig &cfg)
 {
     cfg.validate();
-    CalibrationResult result;
+    CalibrationProfile result;
+    result.machine = cfg.machine.name;
 
-    std::vector<const FunctionSpec *> refs = cfg.referencePool;
-    if (refs.empty())
-        refs = workload::referenceSet();
+    const std::vector<const FunctionSpec *> &refs = cfg.referencePool;
 
     // ---- Congestion-free baselines ---------------------------------
     for (Language lang : workload::allLanguages()) {

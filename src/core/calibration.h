@@ -23,6 +23,7 @@
 
 #include "core/congestion_table.h"
 #include "core/performance_table.h"
+#include "sim/machine_catalog.h"
 #include "workload/invoker.h"
 #include "workload/suite.h"
 
@@ -41,7 +42,7 @@ struct SoloBaseline
 /** Calibration configuration. */
 struct CalibrationConfig
 {
-    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218();
+    sim::MachineConfig machine = sim::MachineCatalog::get("cascade-5218");
     sim::FrequencyPolicy policy = sim::FrequencyPolicy::Fixed;
 
     /** Stress levels to record (strictly increasing). */
@@ -62,8 +63,10 @@ struct CalibrationConfig
     unsigned sharingFunctions = 0;
     std::vector<unsigned> sharingCpus;
 
-    /** Reference functions (defaults to the Table 1 asterisks). */
-    std::vector<const workload::FunctionSpec *> referencePool;
+    /** Reference functions (the Table 1 asterisks by default; an
+     *  explicitly empty pool is a validate() error). */
+    std::vector<const workload::FunctionSpec *> referencePool =
+        workload::referenceSet();
 
     /** Subject-measurement repetitions per cell (averaged). */
     unsigned repetitions = 1;
@@ -82,15 +85,42 @@ struct CalibrationConfig
     void validate() const;
 };
 
-/** Everything calibration produces. */
-struct CalibrationResult
+/**
+ * Everything calibration produces — a first-class, deployable
+ * artifact. The congestion/performance tables (startup baselines
+ * included), the reference-function solo baselines, and the name of
+ * the machine type it was calibrated on travel together: table_io
+ * round-trips the whole profile (v2 format), ProfileStore memoizes
+ * one per machine type, and DiscountModel refuses to price a machine
+ * whose type does not match.
+ */
+struct CalibrationProfile
 {
+    /** MachineConfig::name of the calibration machine. Empty on
+     *  legacy (v1) artifacts and hand-built tables = matches any. */
+    std::string machine;
+
     CongestionTable congestion;
     PerformanceTable performance;
 
     /** Solo baselines of the reference functions (diagnostics). */
     std::map<std::string, SoloBaseline> referenceSolo;
+
+    /** fatal() when this profile was calibrated on a different
+     *  machine type than @p machine_name (empty on either side is a
+     *  wildcard). */
+    void requireMachine(const std::string &machine_name) const;
 };
+
+/**
+ * The one profile/machine matching rule: an empty name on either
+ * side is a wildcard (legacy artifacts, synthetic tables), anything
+ * else must match exactly. @p context names the caller in the
+ * fatal().
+ */
+void requireMachineMatch(const std::string &calibrated,
+                         const std::string &machine_name,
+                         const char *context);
 
 /**
  * Measure the solo baseline of a function spec on a machine (runs it
@@ -102,7 +132,15 @@ SoloBaseline measureSoloBaseline(const sim::MachineConfig &machine,
                                      sim::FrequencyPolicy::Fixed);
 
 /** Run the full calibration procedure. */
-CalibrationResult calibrate(const CalibrationConfig &cfg);
+CalibrationProfile calibrate(const CalibrationConfig &cfg);
+
+/**
+ * The provider's standard dedicated-core sweep for a machine: subject
+ * on CPU 0, generators on CPUs 1..level, levels 2,4,... capped by the
+ * machine's hardware-thread count (and the paper's 26). This is the
+ * sweep ProfileStore runs when a machine type is first priced.
+ */
+CalibrationConfig dedicatedCalibrationFor(sim::MachineConfig machine);
 
 } // namespace litmus::pricing
 

@@ -8,6 +8,18 @@
 namespace litmus::pricing
 {
 
+DiscountModel::DiscountModel(const CalibrationProfile &profile)
+    : DiscountModel(profile.congestion, profile.performance)
+{
+    machine_ = profile.machine;
+}
+
+void
+DiscountModel::requireMachine(const std::string &machine_name) const
+{
+    requireMachineMatch(machine_, machine_name, "DiscountModel");
+}
+
 DiscountModel::DiscountModel(const CongestionTable &congestion,
                              const PerformanceTable &performance)
 {

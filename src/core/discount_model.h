@@ -63,11 +63,28 @@ class DiscountModel
     using GeneratorKind = workload::GeneratorKind;
 
     /**
-     * Fit the model from calibration output. Requires both generators
-     * populated in both tables for every language.
+     * Fit the model from a calibration profile — the normal path.
+     * The profile's machine type is retained and enforced wherever
+     * the model prices a concrete machine (requireMachine).
+     */
+    explicit DiscountModel(const CalibrationProfile &profile);
+
+    /**
+     * Fit from loose tables (synthetic-table tests and ablations).
+     * The machine type is left empty, which matches any machine.
+     * Requires both generators populated in both tables for every
+     * language.
      */
     DiscountModel(const CongestionTable &congestion,
                   const PerformanceTable &performance);
+
+    /** Machine type the backing profile was calibrated on ("" =
+     *  loose tables, matches anything). */
+    const std::string &machine() const { return machine_; }
+
+    /** fatal() when this model's profile was calibrated on a
+     *  different machine type than @p machine_name. */
+    void requireMachine(const std::string &machine_name) const;
 
     /**
      * Estimate discounts from one Litmus test.
@@ -118,6 +135,7 @@ class DiscountModel
 
     std::map<Key, PerLangGen> fits_;
     std::map<Language, ProbeReading> baselines_;
+    std::string machine_;
 };
 
 } // namespace litmus::pricing

@@ -214,6 +214,9 @@ ExperimentResult
 runPricingExperiment(const ExperimentConfig &cfg,
                      const DiscountModel &model)
 {
+    // A model fitted on one machine generation quietly misprices
+    // another; refuse the mismatch up front.
+    model.requireMachine(cfg.machine.name);
     return runExperiment(cfg, &model);
 }
 

@@ -25,7 +25,7 @@ namespace litmus::pricing
 /** Configuration of one pricing experiment. */
 struct ExperimentConfig
 {
-    sim::MachineConfig machine = sim::MachineConfig::cascadeLake5218();
+    sim::MachineConfig machine = sim::MachineCatalog::get("cascade-5218");
     sim::FrequencyPolicy policy = sim::FrequencyPolicy::Fixed;
 
     /** Co-runner population maintained by the invoker. */

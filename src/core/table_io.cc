@@ -55,17 +55,36 @@ genFromToken(const std::string &token)
 } // namespace
 
 void
-saveTables(std::ostream &os, const CongestionTable &congestion,
-           const PerformanceTable &performance)
+saveProfile(std::ostream &os, const CalibrationProfile &profile)
 {
-    os << "litmus-tables v1\n";
+    os << "litmus-tables v2\n";
+    // max_digits10: a decimal round-trip reproduces the exact double,
+    // so a reloaded profile prices bit-identically.
     os << std::setprecision(17);
+
+    if (!profile.machine.empty()) {
+        // The record is whitespace-tokenized on load; a name with
+        // spaces would silently truncate there, so refuse it here.
+        if (profile.machine.find_first_of(" \t\n\r") !=
+            std::string::npos)
+            fatal("saveProfile: machine name '", profile.machine,
+                  "' contains whitespace and would not round-trip");
+        os << "machine " << profile.machine << '\n';
+    }
+
+    const CongestionTable &congestion = profile.congestion;
+    const PerformanceTable &performance = profile.performance;
 
     for (Language lang : workload::allLanguages()) {
         const ProbeReading &base = congestion.baseline(lang);
         os << "baseline " << langToken(lang) << ' ' << base.privCpi
            << ' ' << base.sharedCpi << ' ' << base.instructions << ' '
            << base.machineL3MissPerUs << '\n';
+    }
+
+    for (const auto &[name, solo] : profile.referenceSolo) {
+        os << "solo " << name << ' ' << solo.privCpi << ' '
+           << solo.sharedCpi << '\n';
     }
 
     for (Language lang : workload::allLanguages()) {
@@ -100,23 +119,25 @@ saveTables(std::ostream &os, const CongestionTable &congestion,
 }
 
 void
-saveTables(const std::string &path, const CongestionTable &congestion,
-           const PerformanceTable &performance)
+saveProfile(const std::string &path, const CalibrationProfile &profile)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("saveTables: cannot write '", path, "'");
-    saveTables(out, congestion, performance);
+        fatal("saveProfile: cannot write '", path, "'");
+    saveProfile(out, profile);
 }
 
-LoadedTables
-loadTables(std::istream &is)
+CalibrationProfile
+loadProfile(std::istream &is)
 {
     std::string header;
-    if (!std::getline(is, header) || header != "litmus-tables v1")
-        fatal("loadTables: bad header '", header, "'");
+    if (!std::getline(is, header) ||
+        (header != "litmus-tables v1" && header != "litmus-tables v2"))
+        fatal("loadProfile: bad header '", header,
+              "' (want litmus-tables v1 | v2)");
+    const bool v2 = header == "litmus-tables v2";
 
-    LoadedTables out;
+    CalibrationProfile out;
     std::string line;
     int lineNo = 1;
     while (std::getline(is, line)) {
@@ -126,14 +147,34 @@ loadTables(std::istream &is)
         std::istringstream fields(line);
         std::string kind;
         fields >> kind;
-        if (kind == "baseline") {
+        if (kind == "machine") {
+            if (!v2)
+                fatal("loadProfile: 'machine' record in a v1 file on "
+                      "line ", lineNo);
+            fields >> out.machine;
+            if (!fields || out.machine.empty())
+                fatal("loadProfile: malformed machine record on line ",
+                      lineNo);
+        } else if (kind == "baseline") {
             std::string lang;
             ProbeReading base;
             fields >> lang >> base.privCpi >> base.sharedCpi >>
                 base.instructions >> base.machineL3MissPerUs;
             if (!fields)
-                fatal("loadTables: malformed baseline on line ", lineNo);
+                fatal("loadProfile: malformed baseline on line ",
+                      lineNo);
             out.congestion.setBaseline(langFromToken(lang), base);
+        } else if (kind == "solo") {
+            if (!v2)
+                fatal("loadProfile: 'solo' record in a v1 file on "
+                      "line ", lineNo);
+            std::string name;
+            SoloBaseline solo;
+            fields >> name >> solo.privCpi >> solo.sharedCpi;
+            if (!fields)
+                fatal("loadProfile: malformed solo baseline on line ",
+                      lineNo);
+            out.referenceSolo[name] = solo;
         } else if (kind == "congestion") {
             std::string lang, gen;
             double level;
@@ -142,7 +183,7 @@ loadTables(std::istream &is)
                 entry.sharedSlowdown >> entry.totalSlowdown >>
                 entry.l3MissPerUs;
             if (!fields)
-                fatal("loadTables: malformed congestion row on line ",
+                fatal("loadProfile: malformed congestion row on line ",
                       lineNo);
             out.congestion.add(langFromToken(lang), genFromToken(gen),
                                static_cast<unsigned>(level), entry);
@@ -153,25 +194,25 @@ loadTables(std::istream &is)
             fields >> gen >> level >> entry.privSlowdown >>
                 entry.sharedSlowdown >> entry.totalSlowdown;
             if (!fields)
-                fatal("loadTables: malformed performance row on line ",
+                fatal("loadProfile: malformed performance row on line ",
                       lineNo);
             out.performance.add(genFromToken(gen),
                                 static_cast<unsigned>(level), entry);
         } else {
-            fatal("loadTables: unknown record '", kind, "' on line ",
+            fatal("loadProfile: unknown record '", kind, "' on line ",
                   lineNo);
         }
     }
     return out;
 }
 
-LoadedTables
-loadTables(const std::string &path)
+CalibrationProfile
+loadProfile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("loadTables: cannot open '", path, "'");
-    return loadTables(in);
+        fatal("loadProfile: cannot open '", path, "'");
+    return loadProfile(in);
 }
 
 } // namespace litmus::pricing

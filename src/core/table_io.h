@@ -1,17 +1,23 @@
 /**
  * @file
- * Serialization of calibration artifacts.
+ * Serialization of calibration profiles.
  *
  * Calibration is the expensive provider-side step; its output — the
- * congestion and performance tables plus the startup baselines — is a
- * deployable artifact. This module round-trips both tables through a
- * line-oriented text format so a fleet can calibrate once and load
- * everywhere:
+ * CalibrationProfile — is a deployable artifact. This module
+ * round-trips a whole profile through a line-oriented text format so
+ * a fleet can calibrate once and load everywhere:
  *
- *     litmus-tables v1
+ *     litmus-tables v2
+ *     machine <name>
  *     baseline <lang> <privCpi> <sharedCpi> <instructions> <l3PerUs>
+ *     solo <function> <privCpi> <sharedCpi>
  *     congestion <lang> <gen> <level> <priv> <shared> <total> <l3PerUs>
  *     performance <gen> <level> <priv> <shared> <total>
+ *
+ * The v1 format (no machine/solo records) still loads; such legacy
+ * artifacts carry an empty machine name, which requireMachine treats
+ * as a wildcard. Doubles are written with 17 significant digits, so a
+ * save/load round-trip is bit-exact.
  */
 
 #ifndef LITMUS_CORE_TABLE_IO_H
@@ -25,27 +31,19 @@
 namespace litmus::pricing
 {
 
-/** Serialize both tables (and baselines) to a stream. */
-void saveTables(std::ostream &os, const CongestionTable &congestion,
-                const PerformanceTable &performance);
+/** Serialize a whole profile (v2) to a stream. */
+void saveProfile(std::ostream &os, const CalibrationProfile &profile);
 
 /** Serialize to a file; fatal() when unwritable. */
-void saveTables(const std::string &path,
-                const CongestionTable &congestion,
-                const PerformanceTable &performance);
+void saveProfile(const std::string &path,
+                 const CalibrationProfile &profile);
 
-/** Deserialized calibration artifact. */
-struct LoadedTables
-{
-    CongestionTable congestion;
-    PerformanceTable performance;
-};
+/** Parse a profile (v1 or v2) from a stream; fatal() on malformed
+ *  input. */
+CalibrationProfile loadProfile(std::istream &is);
 
-/** Parse tables from a stream; fatal() on malformed input. */
-LoadedTables loadTables(std::istream &is);
-
-/** Parse tables from a file; fatal() when unreadable. */
-LoadedTables loadTables(const std::string &path);
+/** Parse a profile from a file; fatal() when unreadable. */
+CalibrationProfile loadProfile(const std::string &path);
 
 } // namespace litmus::pricing
 

@@ -41,57 +41,4 @@ MachineConfig::validate() const
         fatal("MachineConfig: warmth parameters must be non-negative");
 }
 
-MachineConfig
-MachineConfig::cascadeLake5218()
-{
-    MachineConfig cfg;
-    cfg.name = "xeon-gold-5218";
-    cfg.cores = 32;
-    cfg.smtWays = 1;
-    cfg.baseFrequency = 2.8_GHz;
-    cfg.turboFrequency = 3.9_GHz;
-    cfg.l3Capacity = 44_MiB;
-    cfg.l3HitLatencyNs = 14.3;
-    cfg.memLatencyNs = 71.0;
-    cfg.l3ServiceRate = 5.6;
-    cfg.memServiceRate = 1.95;
-    cfg.memoryCapacity = 384_GiB;
-    cfg.validate();
-    return cfg;
-}
-
-MachineConfig
-MachineConfig::cascadeLake5218Dual()
-{
-    MachineConfig cfg = cascadeLake5218();
-    cfg.name = "xeon-gold-5218-dual";
-    cfg.sockets = 2;
-    // Per-socket resources: half of the folded single-domain pools.
-    cfg.l3Capacity = 22_MiB;
-    cfg.l3ServiceRate /= 2.0;
-    cfg.memServiceRate /= 2.0;
-    cfg.validate();
-    return cfg;
-}
-
-MachineConfig
-MachineConfig::iceLake4314()
-{
-    MachineConfig cfg;
-    cfg.name = "xeon-silver-4314";
-    cfg.cores = 16;
-    cfg.smtWays = 1;
-    cfg.baseFrequency = 2.4_GHz;
-    cfg.turboFrequency = 3.4_GHz;
-    cfg.l3Capacity = 24_MiB;
-    // Ice Lake: slightly slower L3, better memory subsystem per core.
-    cfg.l3HitLatencyNs = 17.0;
-    cfg.memLatencyNs = 75.0;
-    cfg.l3ServiceRate = 3.2;
-    cfg.memServiceRate = 1.35;
-    cfg.memoryCapacity = 128_GiB;
-    cfg.validate();
-    return cfg;
-}
-
 } // namespace litmus::sim

@@ -27,10 +27,16 @@ namespace litmus::sim
  *
  * All tunables that shape contention live here so experiments can vary
  * them (the sensitivity studies in Section 8 swap whole presets).
+ * Named presets live in MachineCatalog (sim/machine_catalog.h); this
+ * struct is the value type they resolve to.
  */
 struct MachineConfig
 {
-    /** Human-readable preset name, e.g. "xeon-gold-5218". */
+    /**
+     * Preset name, e.g. "cascade-5218". Doubles as the machine *type*
+     * in heterogeneous fleets: calibration profiles record it, and a
+     * profile only prices machines whose name matches.
+     */
     std::string name;
 
     /** Physical cores across all sockets. */
@@ -42,7 +48,7 @@ struct MachineConfig
      * per-domain fields below); cores are split evenly across
      * sockets, consecutive core indices per socket. The default
      * presets fold the paper's dual-socket testbed into one domain;
-     * cascadeLake5218Dual() models the sockets explicitly.
+     * the "cascade-5218-dual" preset models the sockets explicitly.
      */
     unsigned sockets = 1;
 
@@ -161,20 +167,6 @@ struct MachineConfig
 
     /** Abort with fatal() if any field is inconsistent. */
     void validate() const;
-
-    /** Dual-socket Xeon Gold 5218 folded into one domain, Section 3. */
-    static MachineConfig cascadeLake5218();
-
-    /**
-     * The same server with both sockets modelled explicitly: cores
-     * 0-15 on socket 0, 16-31 on socket 1, each with its own 22 MiB
-     * L3 and half the bandwidth pools. Cross-socket isolation is
-     * perfect in this model (no coherence traffic).
-     */
-    static MachineConfig cascadeLake5218Dual();
-
-    /** Xeon Silver 4314 domain (Ice Lake), Section 8. */
-    static MachineConfig iceLake4314();
 };
 
 } // namespace litmus::sim

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/calibration.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::pricing
 {
@@ -51,7 +52,7 @@ TEST(Calibration, ValidatesConfig)
 
 TEST(Calibration, MeasureSoloBaseline)
 {
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const SoloBaseline solo = measureSoloBaseline(
         machine, workload::functionByName("aes-py"));
     EXPECT_GT(solo.privCpi, 0.3);
@@ -64,9 +65,9 @@ TEST(Calibration, MeasureSoloBaseline)
 class CalibrationFixture : public ::testing::Test
 {
   protected:
-    static const CalibrationResult &result()
+    static const CalibrationProfile &result()
     {
-        static const CalibrationResult r = calibrate(smallConfig());
+        static const CalibrationProfile r = calibrate(smallConfig());
         return r;
     }
 };

@@ -10,6 +10,7 @@
 #include "cluster/cluster.h"
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::cluster
 {
@@ -56,15 +57,29 @@ tinyPool()
     return pool;
 }
 
+/** An 8-core cut of the Cascade Lake preset, registered once so fleet
+ *  specs can name it. */
+const std::string &
+testMachine()
+{
+    static const std::string name = [] {
+        sim::MachineConfig cfg =
+            sim::MachineCatalog::get("cascade-5218");
+        cfg.name = "test-cascade-8";
+        cfg.cores = 8;
+        sim::MachineCatalog::registerPreset(cfg);
+        return cfg.name;
+    }();
+    return name;
+}
+
 ClusterConfig
 smallFleet(unsigned machines, DispatchPolicy policy,
            std::uint64_t invocations = 200)
 {
     ClusterConfig cfg;
-    cfg.machines = machines;
+    cfg.fleet = {{testMachine(), machines}};
     cfg.policy = policy;
-    cfg.machine = sim::MachineConfig::cascadeLake5218();
-    cfg.machine.cores = 8;
     cfg.arrivalsPerSecond = 4000;
     cfg.invocations = invocations;
     cfg.functionPool = tinyPool();
@@ -87,9 +102,21 @@ TEST(DispatchPolicyNames, RoundTripAndAliases)
 TEST(ClusterConfig, ValidateCatchesNonsense)
 {
     ClusterConfig cfg;
-    cfg.machines = 0;
+    cfg.fleet.clear();
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "machine");
+                "fleet spec is empty");
+    cfg = ClusterConfig{};
+    cfg.fleet = {{"cascade-5218", 0}};
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "zero machines");
+    cfg = ClusterConfig{};
+    cfg.fleet = {{"pentium-133", 2}};
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "unknown machine 'pentium-133'");
+    cfg = ClusterConfig{};
+    cfg.functionPool.clear();
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "functionPool is empty");
     cfg = ClusterConfig{};
     cfg.arrivalsPerSecond = 0;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "rate");
@@ -143,6 +170,45 @@ TEST(Dispatcher, LeastLoadedPicksMinWithStableTies)
     // Ties go to the lowest index.
     EXPECT_EQ(ll->pick(inv, snapshots({2, 1, 1})), 1u);
     EXPECT_EQ(ll->pick(inv, snapshots({0, 0, 0})), 0u);
+}
+
+TEST(Dispatcher, CostAwareWeighsSpeedAgainstCrowding)
+{
+    auto cost = makeDispatcher(DispatchPolicy::CostAware);
+    const Invocation inv = arrival(tinySuite()[0]);
+
+    // A fast 2-core machine vs. a slow 2-core machine.
+    auto machines = snapshots({0, 0});
+    machines[0].cores = 2;
+    machines[0].baseFrequency = 2.8e9;
+    machines[1].cores = 2;
+    machines[1].baseFrequency = 2.4e9;
+    // Both idle: the faster clock wins.
+    EXPECT_EQ(cost->pick(inv, machines), 0u);
+
+    // Crowd the fast machine until time-sharing eats its clock edge:
+    // at 4 live tasks on 2 cores the next task runs at (5/2)/2.8GHz,
+    // worse than idle 1/2.4GHz on the slow machine.
+    machines[0].liveTasks = 4;
+    EXPECT_EQ(cost->pick(inv, machines), 1u);
+
+    // Mild crowding that still beats the slow machine: 1 live task on
+    // 2 cores leaves a free core, so the fast machine keeps winning.
+    machines[0].liveTasks = 1;
+    EXPECT_EQ(cost->pick(inv, machines), 0u);
+
+    // Ties go to the lowest index.
+    machines[0].baseFrequency = machines[1].baseFrequency;
+    machines[0].liveTasks = 0;
+    EXPECT_EQ(cost->pick(inv, machines), 0u);
+}
+
+TEST(Dispatcher, PolicyNamesIncludeCostAware)
+{
+    EXPECT_EQ(policyByName("cost"), DispatchPolicy::CostAware);
+    EXPECT_EQ(policyByName("cost-aware"), DispatchPolicy::CostAware);
+    EXPECT_EQ(policyName(DispatchPolicy::CostAware), "cost-aware");
+    EXPECT_EQ(allPolicies().size(), 4u);
 }
 
 TEST(Dispatcher, WarmthAwarePrefersWarmThenFallsBack)
@@ -311,12 +377,15 @@ TEST(Cluster, AccessorsGuardAgainstMisuse)
                 "not completed");
 }
 
-/** Synthetic discount model (same construction as test_pricing). */
-pricing::DiscountModel
-syntheticModel()
+/** Synthetic calibration profile (same tables as test_pricing);
+ *  machine name empty = wildcard unless the caller sets one. */
+pricing::CalibrationProfile
+syntheticProfile(const std::string &machine = "")
 {
-    pricing::CongestionTable congestion;
-    pricing::PerformanceTable performance;
+    pricing::CalibrationProfile profile;
+    profile.machine = machine;
+    pricing::CongestionTable &congestion = profile.congestion;
+    pricing::PerformanceTable &performance = profile.performance;
     for (Language lang : workload::allLanguages()) {
         pricing::ProbeReading base;
         // Far below any simulated startup CPI, so observed slowdowns
@@ -346,14 +415,21 @@ syntheticModel()
         performance.add(GeneratorKind::CtGen, level, p);
         performance.add(GeneratorKind::MbGen, level, p);
     }
-    return pricing::DiscountModel(congestion, performance);
+    return profile;
+}
+
+/** Synthetic discount model (wildcard machine). */
+pricing::DiscountModel
+syntheticModel()
+{
+    return pricing::DiscountModel(syntheticProfile());
 }
 
 TEST(Cluster, DiscountModelPricesColdProbedInvocations)
 {
     const pricing::DiscountModel model = syntheticModel();
     auto cfg = smallFleet(2, DispatchPolicy::WarmthAware);
-    cfg.discountModel = &model;
+    cfg.discountModels[testMachine()] = &model;
     cfg.probes = true;
     Cluster fleet(cfg);
     const FleetReport &report = fleet.run();
@@ -376,6 +452,170 @@ TEST(Cluster, DiscountModelPricesColdProbedInvocations)
     EXPECT_NEAR(report.billedCpuSeconds,
                 report.sumMachineBilledSeconds(),
                 1e-9 * report.billedCpuSeconds);
+}
+
+/** A slow 8-core Ice Lake cut for mixed fleets. */
+const std::string &
+testIcelake()
+{
+    static const std::string name = [] {
+        sim::MachineConfig cfg =
+            sim::MachineCatalog::get("icelake-4314");
+        cfg.name = "test-icelake-8";
+        cfg.cores = 8;
+        sim::MachineCatalog::registerPreset(cfg);
+        return cfg.name;
+    }();
+    return name;
+}
+
+ClusterConfig
+mixedFleet(DispatchPolicy policy, std::uint64_t invocations = 300)
+{
+    ClusterConfig cfg = smallFleet(2, policy, invocations);
+    cfg.fleet = {{testMachine(), 2}, {testIcelake(), 2}};
+    return cfg;
+}
+
+TEST(Cluster, HeterogeneousFleetReportsPerTypeBreakdown)
+{
+    Cluster fleet(mixedFleet(DispatchPolicy::LeastLoaded));
+    const FleetReport &report = fleet.run();
+
+    // Machines are indexed group by group, each bound to its type.
+    ASSERT_EQ(report.machines.size(), 4u);
+    EXPECT_EQ(report.machines[0].type, testMachine());
+    EXPECT_EQ(report.machines[1].type, testMachine());
+    EXPECT_EQ(report.machines[2].type, testIcelake());
+    EXPECT_EQ(report.machines[3].type, testIcelake());
+
+    ASSERT_EQ(report.types.size(), 2u);
+    EXPECT_EQ(report.types[0].type, testMachine());
+    EXPECT_EQ(report.types[1].type, testIcelake());
+    EXPECT_EQ(report.types[0].machines, 2u);
+    EXPECT_EQ(report.types[1].machines, 2u);
+
+    // The type breakdown loses nothing: counts exactly, money and
+    // billed seconds to association error.
+    std::uint64_t dispatched = 0, completions = 0;
+    Seconds billed = 0;
+    double commercial = 0;
+    for (const TypeReport &t : report.types) {
+        dispatched += t.dispatched;
+        completions += t.completions;
+        billed += t.billedCpuSeconds;
+        commercial += t.commercialUsd;
+        EXPECT_GT(t.dispatched, 0u);
+    }
+    EXPECT_EQ(dispatched, report.dispatched);
+    EXPECT_EQ(completions, report.completions);
+    EXPECT_NEAR(billed, report.billedCpuSeconds,
+                1e-9 * report.billedCpuSeconds);
+    EXPECT_NEAR(commercial, report.commercialUsd,
+                1e-12 + 1e-9 * report.commercialUsd);
+}
+
+TEST(Cluster, HeterogeneousThreadedRunnerIsDeterministic)
+{
+    auto serialCfg = mixedFleet(DispatchPolicy::CostAware);
+    serialCfg.threads = 1;
+    auto threadedCfg = serialCfg;
+    threadedCfg.threads = 4;
+    Cluster serial(serialCfg);
+    Cluster threaded(threadedCfg);
+    expectIdentical(totalsOf(serial.run()), totalsOf(threaded.run()));
+}
+
+TEST(Cluster, CostAwareShiftsLoadTowardFasterMachines)
+{
+    // Same trace; cost-aware must put more work on the higher-clock
+    // cascade cut than blind rotation does.
+    Cluster rr(mixedFleet(DispatchPolicy::RoundRobin, 400));
+    Cluster cost(mixedFleet(DispatchPolicy::CostAware, 400));
+    const std::uint64_t rrCascade = rr.run().types[0].dispatched;
+    const std::uint64_t costCascade = cost.run().types[0].dispatched;
+    EXPECT_GT(costCascade, rrCascade);
+}
+
+TEST(Cluster, PerTypeDiscountModelsPriceOnlyTheirType)
+{
+    const pricing::DiscountModel model = syntheticModel();
+    auto cfg = mixedFleet(DispatchPolicy::LeastLoaded);
+    cfg.discountModels[testMachine()] = &model; // icelake unpriced
+    cfg.probes = true;
+    Cluster fleet(cfg);
+    const FleetReport &report = fleet.run();
+
+    ASSERT_EQ(report.types.size(), 2u);
+    ASSERT_GT(report.types[0].coldStarts, 0u);
+    // The modelled type discounts; the bare type bills commercially.
+    EXPECT_LT(report.types[0].litmusUsd, report.types[0].commercialUsd);
+    EXPECT_EQ(report.types[1].litmusUsd, report.types[1].commercialUsd);
+}
+
+TEST(Cluster, DiscountModelMachineMismatchIsFatal)
+{
+    // A profile calibrated on the cascade cut must not be bound to
+    // the icelake group.
+    const pricing::DiscountModel model(syntheticProfile(testMachine()));
+    auto cfg = mixedFleet(DispatchPolicy::LeastLoaded);
+    cfg.discountModels[testIcelake()] = &model;
+    EXPECT_EXIT(Cluster{cfg}, ::testing::ExitedWithCode(1),
+                "calibrated on");
+}
+
+TEST(Cluster, AliasFleetSpecBindsCanonicallyKeyedModels)
+{
+    // Fleet spec spelled with an alias, model keyed by the canonical
+    // name: the machines must still bind (and discount).
+    const pricing::DiscountModel model = syntheticModel();
+    auto cfg = smallFleet(2, DispatchPolicy::WarmthAware);
+    cfg.fleet = {{"icelake", 2}}; // alias of icelake-4314
+    cfg.discountModels["icelake-4314"] = &model;
+    cfg.probes = true;
+    Cluster fleet(cfg);
+    const FleetReport &report = fleet.run();
+    ASSERT_EQ(report.types.size(), 1u);
+    EXPECT_EQ(report.types[0].type, "icelake-4314");
+    EXPECT_LT(report.types[0].litmusUsd,
+              report.types[0].commercialUsd);
+}
+
+TEST(Cluster, SplitTypeGroupsMergeIntoOneTypeReport)
+{
+    // The same type in two non-adjacent groups gets one merged row.
+    auto cfg = mixedFleet(DispatchPolicy::RoundRobin);
+    cfg.fleet = {{testMachine(), 1},
+                 {testIcelake(), 2},
+                 {testMachine(), 1}};
+    Cluster fleet(cfg);
+    const FleetReport &report = fleet.run();
+    ASSERT_EQ(report.types.size(), 2u);
+    EXPECT_EQ(report.types[0].type, testMachine());
+    EXPECT_EQ(report.types[0].machines, 2u);
+    EXPECT_EQ(report.types[1].type, testIcelake());
+    EXPECT_EQ(report.types[1].machines, 2u);
+}
+
+TEST(Cluster, DiscountModelForAbsentTypeIsFatal)
+{
+    const pricing::DiscountModel model = syntheticModel();
+    auto cfg = smallFleet(2, DispatchPolicy::LeastLoaded);
+    cfg.discountModels["cascade-5218"] = &model; // not in the fleet
+    EXPECT_EXIT(Cluster{cfg}, ::testing::ExitedWithCode(1),
+                "not in the fleet spec");
+}
+
+TEST(Cluster, DuplicateModelsUnderAliasAndCanonicalNameAreFatal)
+{
+    const pricing::DiscountModel a = syntheticModel();
+    const pricing::DiscountModel b = syntheticModel();
+    auto cfg = smallFleet(2, DispatchPolicy::LeastLoaded);
+    cfg.fleet = {{"icelake-4314", 2}};
+    cfg.discountModels["icelake-4314"] = &a;
+    cfg.discountModels["icelake"] = &b; // same type, different model
+    EXPECT_EXIT(Cluster{cfg}, ::testing::ExitedWithCode(1),
+                "two discount models");
 }
 
 } // namespace

@@ -9,7 +9,7 @@
 #include <fstream>
 
 #include "common/config_reader.h"
-#include "sim/machine_config.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus
 {
@@ -148,7 +148,7 @@ TEST(ConfigReader, SetOverrides)
 
 TEST(MachineOverrides, AppliesRecognizedKeys)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto cfg = ConfigReader::fromString(
         "cores = 48\n"
         "base_ghz = 3.0\n"
@@ -169,7 +169,7 @@ TEST(MachineOverrides, AppliesRecognizedKeys)
 
 TEST(MachineOverrides, UnknownKeyFatal)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto cfg = ConfigReader::fromString("coresss = 2\n");
     EXPECT_EXIT(applyMachineOverrides(machine, cfg),
                 ::testing::ExitedWithCode(1), "unknown key");
@@ -177,7 +177,7 @@ TEST(MachineOverrides, UnknownKeyFatal)
 
 TEST(MachineOverrides, InvalidResultFatal)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto cfg = ConfigReader::fromString("cores = 0\n");
     EXPECT_EXIT(applyMachineOverrides(machine, cfg),
                 ::testing::ExitedWithCode(1), "cores");

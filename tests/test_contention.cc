@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/contention.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -16,7 +17,7 @@ namespace
 MachineConfig
 cfg()
 {
-    return MachineConfig::cascadeLake5218();
+    return MachineCatalog::get("cascade-5218");
 }
 
 ResourceDemand

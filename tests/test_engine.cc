@@ -10,6 +10,7 @@
 
 #include "sim/machine.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -23,7 +24,7 @@ using workload::ProgramTask;
 MachineConfig
 smallMachine(unsigned cores = 4)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = cores;
     return cfg;
 }
@@ -352,7 +353,7 @@ TEST(Engine, ObserverSeesBusySocketNotIdleOne)
     // overwrite the busy earlier one in the per-quantum observer state
     // (0 >= 0 for a workload with no DRAM traffic). The L3-only load
     // below runs on socket 0; socket 1 stays idle.
-    auto cfg = MachineConfig::cascadeLake5218Dual();
+    auto cfg = MachineCatalog::get("cascade-5218-dual");
     Engine engine(cfg);
     for (unsigned cpu = 0; cpu < 4; ++cpu) {
         ResourceDemand d;

@@ -23,6 +23,7 @@
 #include "core/poppa.h"
 #include "sim/engine.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -111,8 +112,8 @@ runWorkload(std::uint64_t seed, bool fast_forward)
     Rng rng(seed);
 
     MachineConfig cfg = rng.chance(0.25)
-                            ? MachineConfig::cascadeLake5218Dual()
-                            : MachineConfig::cascadeLake5218();
+                            ? MachineCatalog::get("cascade-5218-dual")
+                            : MachineCatalog::get("cascade-5218");
     if (cfg.sockets == 1) {
         cfg.cores = static_cast<unsigned>(rng.range(2, 6));
         if (rng.chance(0.3))
@@ -233,7 +234,7 @@ TEST(EngineFastForward, RandomizedDifferentialBitIdentical)
 
 TEST(EngineFastForward, SteadyWorkloadReplaysAlmostEverything)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = 8;
     Engine engine(cfg);
     for (int i = 0; i < 8; ++i) {
@@ -263,7 +264,7 @@ TEST(EngineFastForward, PoppaSamplingIdenticalAcrossModes)
     // mutation pattern an observer can produce. Estimates and stall
     // overhead must not depend on the engine mode.
     auto runPoppa = [](bool ff) {
-        auto cfg = MachineConfig::cascadeLake5218();
+        auto cfg = MachineCatalog::get("cascade-5218");
         cfg.cores = 4;
         Engine engine(cfg);
         engine.setFastForward(ff);
@@ -317,7 +318,7 @@ TEST_P(ClusterDifferential, TotalsIdenticalAcrossModes)
     // overshoots arrivals that exact mode dispatches earlier.
     auto runFleet = [](bool exact, Seconds epoch) {
         cluster::ClusterConfig cfg;
-        cfg.machines = 2;
+        cfg.fleet = {{"cascade-5218", 2}};
         cfg.policy = cluster::DispatchPolicy::WarmthAware;
         cfg.arrivalsPerSecond = 400.0;
         cfg.invocations = 300;
@@ -355,7 +356,7 @@ INSTANTIATE_TEST_SUITE_P(Epochs, ClusterDifferential,
 
 TEST(EngineFastForward, ExactQuantumFlagDisablesReplay)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = 2;
     Engine engine(cfg);
     engine.setFastForward(false);
@@ -376,13 +377,13 @@ TEST(EngineFastForward, DefaultFlagAppliesToNewEngines)
     ASSERT_TRUE(Engine::defaultFastForward());
     Engine::setDefaultFastForward(false);
     {
-        auto cfg = MachineConfig::cascadeLake5218();
+        auto cfg = MachineCatalog::get("cascade-5218");
         cfg.cores = 2;
         Engine engine(cfg);
         EXPECT_FALSE(engine.fastForward());
     }
     Engine::setDefaultFastForward(true);
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = 2;
     Engine engine(cfg);
     EXPECT_TRUE(engine.fastForward());

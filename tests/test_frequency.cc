@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/frequency_governor.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -14,7 +15,7 @@ namespace
 
 TEST(Fixed, AlwaysBaseFrequency)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     const FrequencyGovernor gov(cfg, FrequencyPolicy::Fixed);
     for (unsigned active : {0u, 1u, 8u, 16u, 32u})
         EXPECT_DOUBLE_EQ(gov.frequency(active), cfg.baseFrequency);
@@ -22,7 +23,7 @@ TEST(Fixed, AlwaysBaseFrequency)
 
 TEST(Turbo, SingleCorePeak)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
     EXPECT_DOUBLE_EQ(gov.frequency(1), cfg.turboFrequency);
     EXPECT_DOUBLE_EQ(gov.frequency(0), cfg.turboFrequency);
@@ -30,7 +31,7 @@ TEST(Turbo, SingleCorePeak)
 
 TEST(Turbo, AllCoreBase)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
     EXPECT_DOUBLE_EQ(gov.frequency(cfg.cores), cfg.baseFrequency);
     EXPECT_DOUBLE_EQ(gov.frequency(cfg.cores / 2), cfg.baseFrequency);
@@ -38,7 +39,7 @@ TEST(Turbo, AllCoreBase)
 
 TEST(Turbo, MonotoneNonIncreasing)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
     double prev = gov.frequency(1);
     for (unsigned active = 2; active <= cfg.cores; ++active) {
@@ -52,7 +53,7 @@ TEST(Turbo, MonotoneNonIncreasing)
 
 TEST(Turbo, PolicyAccessor)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     const FrequencyGovernor gov(cfg, FrequencyPolicy::Turbo);
     EXPECT_EQ(gov.policy(), FrequencyPolicy::Turbo);
 }

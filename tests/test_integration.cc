@@ -31,7 +31,7 @@ class Pipeline : public ::testing::Test
                 &workload::functionByName("profile-go"),
             };
             cfg.warmup = 0.03;
-            const CalibrationResult r = calibrate(cfg);
+            const CalibrationProfile r = calibrate(cfg);
             return DiscountModel(r.congestion, r.performance);
         }();
         return m;
@@ -123,7 +123,7 @@ TEST(PipelineDeterminism, SameSeedSameResult)
     ccfg.referencePool = {&workload::functionByName("gzip-py"),
                           &workload::functionByName("aes-go")};
     ccfg.warmup = 0.02;
-    const CalibrationResult cal = calibrate(ccfg);
+    const CalibrationProfile cal = calibrate(ccfg);
     const DiscountModel model(cal.congestion, cal.performance);
 
     auto runOnce = [&] {
@@ -152,7 +152,7 @@ TEST(PipelineMethod1, SharingFactorImprovesSharedEnvironment)
     ccfg.referencePool = {&workload::functionByName("gzip-py"),
                           &workload::functionByName("cur-nj")};
     ccfg.warmup = 0.02;
-    const CalibrationResult cal = calibrate(ccfg);
+    const CalibrationProfile cal = calibrate(ccfg);
     const DiscountModel model(cal.congestion, cal.performance);
 
     auto run = [&](double factor) {

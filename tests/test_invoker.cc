@@ -7,6 +7,7 @@
 
 #include "workload/invoker.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::workload
 {
@@ -16,7 +17,7 @@ namespace
 sim::MachineConfig
 machine()
 {
-    return sim::MachineConfig::cascadeLake5218();
+    return sim::MachineCatalog::get("cascade-5218");
 }
 
 TEST(Invoker, LaunchesInitialPopulation)

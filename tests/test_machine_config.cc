@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/machine_config.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -14,7 +14,7 @@ namespace
 
 TEST(MachineConfig, CascadeLakePreset)
 {
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     EXPECT_EQ(cfg.cores, 32u);
     EXPECT_EQ(cfg.smtWays, 1u);
     EXPECT_EQ(cfg.hwThreads(), 32u);
@@ -26,7 +26,7 @@ TEST(MachineConfig, CascadeLakePreset)
 
 TEST(MachineConfig, IceLakePreset)
 {
-    const auto cfg = MachineConfig::iceLake4314();
+    const auto cfg = MachineCatalog::get("icelake-4314");
     EXPECT_EQ(cfg.cores, 16u);
     EXPECT_DOUBLE_EQ(cfg.baseFrequency, 2.4e9);
     EXPECT_EQ(cfg.l3Capacity, 24_MiB);
@@ -35,8 +35,8 @@ TEST(MachineConfig, IceLakePreset)
 
 TEST(MachineConfig, PresetsDiffer)
 {
-    const auto cl = MachineConfig::cascadeLake5218();
-    const auto il = MachineConfig::iceLake4314();
+    const auto cl = MachineCatalog::get("cascade-5218");
+    const auto il = MachineCatalog::get("icelake-4314");
     EXPECT_NE(cl.name, il.name);
     EXPECT_GT(cl.l3ServiceRate, il.l3ServiceRate);
     EXPECT_GT(cl.memServiceRate, il.memServiceRate);
@@ -44,7 +44,7 @@ TEST(MachineConfig, PresetsDiffer)
 
 TEST(MachineConfig, SmtDoublesHwThreads)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.smtWays = 2;
     EXPECT_EQ(cfg.hwThreads(), 64u);
     EXPECT_NO_FATAL_FAILURE(cfg.validate());
@@ -52,21 +52,21 @@ TEST(MachineConfig, SmtDoublesHwThreads)
 
 TEST(MachineConfig, RejectsZeroCores)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = 0;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "cores");
 }
 
 TEST(MachineConfig, RejectsBadSmt)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.smtWays = 3;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "smtWays");
 }
 
 TEST(MachineConfig, RejectsInvertedLatencies)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.memLatencyNs = cfg.l3HitLatencyNs / 2;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
                 "latencies");
@@ -74,7 +74,7 @@ TEST(MachineConfig, RejectsInvertedLatencies)
 
 TEST(MachineConfig, RejectsBadTurbo)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.turboFrequency = cfg.baseFrequency / 2;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
                 "frequency");
@@ -82,21 +82,21 @@ TEST(MachineConfig, RejectsBadTurbo)
 
 TEST(MachineConfig, RejectsBadQueueModel)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.l3QueueMax = 0.5;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "queue");
 }
 
 TEST(MachineConfig, RejectsNegativeWarmth)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.warmthMaxPenalty = -0.1;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "warmth");
 }
 
 TEST(MachineConfig, RejectsZeroTimeSlice)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.timeSlice = 0;
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
                 "timeSlice");

@@ -9,6 +9,7 @@
 #include "core/experiment.h"
 #include "sim/machine.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -55,7 +56,7 @@ subjectCpiWithHogs(const MachineConfig &cfg,
 
 TEST(Numa, PresetGeometry)
 {
-    const auto cfg = MachineConfig::cascadeLake5218Dual();
+    const auto cfg = MachineCatalog::get("cascade-5218-dual");
     EXPECT_EQ(cfg.sockets, 2u);
     EXPECT_EQ(cfg.coresPerSocket(), 16u);
     EXPECT_EQ(cfg.hwThreadsPerSocket(), 16u);
@@ -69,7 +70,7 @@ TEST(Numa, PresetGeometry)
 
 TEST(Numa, SocketOfWithSmt)
 {
-    auto cfg = MachineConfig::cascadeLake5218Dual();
+    auto cfg = MachineCatalog::get("cascade-5218-dual");
     cfg.smtWays = 2; // 64 hw threads, 32 per socket
     EXPECT_EQ(cfg.hwThreadsPerSocket(), 32u);
     EXPECT_EQ(cfg.socketOf(31), 0u);
@@ -78,7 +79,7 @@ TEST(Numa, SocketOfWithSmt)
 
 TEST(Numa, RejectsUnevenSplit)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.sockets = 3; // 32 % 3 != 0
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
                 "sockets");
@@ -88,7 +89,7 @@ TEST(Numa, RemoteSocketHogsDoNotInterfere)
 {
     // The headline NUMA property: a subject on socket 0 is isolated
     // from hogs on socket 1, but not from hogs on its own socket.
-    const auto cfg = MachineConfig::cascadeLake5218Dual();
+    const auto cfg = MachineCatalog::get("cascade-5218-dual");
 
     const double alone = subjectCpiWithHogs(cfg, {});
     std::vector<unsigned> remote, local;
@@ -107,7 +108,7 @@ TEST(Numa, SingleSocketFoldedEquivalence)
 {
     // With sockets=1 the refactored engine must behave exactly like
     // the original single-domain machine.
-    const auto cfg = MachineConfig::cascadeLake5218();
+    const auto cfg = MachineCatalog::get("cascade-5218");
     std::vector<unsigned> local;
     for (unsigned i = 1; i <= 8; ++i)
         local.push_back(i);
@@ -122,8 +123,8 @@ TEST(Numa, PerSocketCapacityIsSmaller)
     // The dual model gives each socket only 22 MiB: a big-footprint
     // subject suffers more from same-socket neighbours than on the
     // folded 44 MiB domain with identical co-location.
-    const auto folded = MachineConfig::cascadeLake5218();
-    const auto dual = MachineConfig::cascadeLake5218Dual();
+    const auto folded = MachineCatalog::get("cascade-5218");
+    const auto dual = MachineCatalog::get("cascade-5218-dual");
     std::vector<unsigned> local;
     for (unsigned i = 1; i <= 8; ++i)
         local.push_back(i);
@@ -137,7 +138,7 @@ TEST(Numa, PricingPipelineRunsOnDualSocket)
     // machine (generators behind the subject stay on socket 0, spill
     // to socket 1 at higher levels — both domains exercised).
     pricing::CalibrationConfig ccfg;
-    ccfg.machine = MachineConfig::cascadeLake5218Dual();
+    ccfg.machine = MachineCatalog::get("cascade-5218-dual");
     ccfg.levels = {4, 10, 16};
     ccfg.referencePool = {&workload::functionByName("thum-py"),
                           &workload::functionByName("profile-go")};

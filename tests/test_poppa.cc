@@ -7,6 +7,7 @@
 
 #include "core/poppa.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::pricing
 {
@@ -16,7 +17,7 @@ namespace
 sim::MachineConfig
 machine(unsigned cores = 4)
 {
-    auto cfg = sim::MachineConfig::cascadeLake5218();
+    auto cfg = sim::MachineCatalog::get("cascade-5218");
     cfg.cores = cores;
     return cfg;
 }

@@ -9,6 +9,7 @@
 #include "sim/machine.h"
 #include "workload/function_model.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::pricing
 {
@@ -84,7 +85,7 @@ TEST(Probe, EndToEndSoloCapture)
 {
     // A real function run alone: probe covers the startup window and
     // the slowdown against itself is exactly 1.
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     const auto &spec = workload::functionByName("aes-py");
     const auto run = sim::runSolo(
         cfg, [&] { return workload::makeNominalInvocation(spec, true); });
@@ -104,7 +105,7 @@ TEST(Probe, SameLanguageFunctionsProbeAlike)
     // Two different Python functions must produce nearly identical
     // probe readings (the startup is shared) — the core Litmus
     // assumption.
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     auto readFor = [&](const char *name) {
         const auto run = sim::runSolo(cfg, [&] {
             return workload::makeNominalInvocation(

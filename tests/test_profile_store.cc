@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the memoized profile store: calibrate-once semantics,
+ * concurrent request coalescing, put/find, and the dedicated-sweep
+ * entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/profile_store.h"
+
+namespace litmus::pricing
+{
+namespace
+{
+
+/** A cheap synthetic profile (no simulation). */
+CalibrationProfile
+syntheticProfile(const std::string &machine)
+{
+    CalibrationProfile profile;
+    profile.machine = machine;
+    profile.referenceSolo["probe-fn"] = {0.5, 0.25};
+    return profile;
+}
+
+TEST(ProfileStore, GetOrCalibrateMemoizes)
+{
+    ProfileStore &store = ProfileStore::instance();
+    store.clear();
+
+    int calls = 0;
+    const auto produce = [&calls] {
+        ++calls;
+        return syntheticProfile("memo-test");
+    };
+    const auto first = store.getOrCalibrate("memo", produce);
+    const auto second = store.getOrCalibrate("memo", produce);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(first.get(), second.get()); // same shared artifact
+    EXPECT_EQ(first->machine, "memo-test");
+
+    // A different key calibrates independently.
+    store.getOrCalibrate("memo2", produce);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(ProfileStore, ConcurrentRequestsCalibrateOnce)
+{
+    ProfileStore &store = ProfileStore::instance();
+    store.clear();
+
+    std::atomic<int> calls{0};
+    const auto produce = [&calls] {
+        calls.fetch_add(1);
+        // Long enough that every thread arrives mid-calibration.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return syntheticProfile("concurrent");
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<ProfileStore::ProfilePtr> results(8);
+    for (unsigned i = 0; i < results.size(); ++i) {
+        threads.emplace_back([&, i] {
+            results[i] = store.getOrCalibrate("concurrent", produce);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(calls.load(), 1);
+    for (const auto &result : results) {
+        ASSERT_TRUE(result);
+        EXPECT_EQ(result.get(), results[0].get());
+    }
+}
+
+TEST(ProfileStore, PutFindClear)
+{
+    ProfileStore &store = ProfileStore::instance();
+    store.clear();
+
+    EXPECT_EQ(store.find("artifact"), nullptr);
+    store.put("artifact", syntheticProfile("put-machine"));
+    const auto found = store.find("artifact");
+    ASSERT_TRUE(found);
+    EXPECT_EQ(found->machine, "put-machine");
+
+    // put replaces.
+    store.put("artifact", syntheticProfile("put-machine-v2"));
+    EXPECT_EQ(store.find("artifact")->machine, "put-machine-v2");
+
+    store.clear();
+    EXPECT_EQ(store.find("artifact"), nullptr);
+}
+
+TEST(ProfileStore, DedicatedCalibratesRealProfileOnce)
+{
+    // A tiny registered machine keeps the real calibration sweep
+    // cheap: 4 cores -> a single stress level.
+    sim::MachineConfig tiny = sim::MachineCatalog::get("cascade-5218");
+    tiny.name = "store-test-4";
+    tiny.cores = 4;
+    sim::MachineCatalog::registerPreset(tiny);
+
+    ProfileStore &store = ProfileStore::instance();
+    store.clear();
+    const auto profile = store.dedicated("store-test-4");
+    ASSERT_TRUE(profile);
+    EXPECT_EQ(profile->machine, "store-test-4");
+    EXPECT_FALSE(profile->referenceSolo.empty());
+    for (workload::Language lang : workload::allLanguages()) {
+        EXPECT_GT(profile->congestion.baseline(lang).privCpi, 0.0);
+    }
+
+    // Second request: the cached artifact, not a new sweep.
+    EXPECT_EQ(store.dedicated("store-test-4").get(), profile.get());
+}
+
+TEST(ProfileStore, DedicatedRejectsUnknownMachine)
+{
+    EXPECT_EXIT(ProfileStore::instance().dedicated("not-a-machine"),
+                ::testing::ExitedWithCode(1), "unknown machine");
+}
+
+} // namespace
+} // namespace litmus::pricing

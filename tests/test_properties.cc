@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "core/experiment.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::pricing
 {
@@ -28,7 +29,7 @@ sharedModel()
                              &workload::functionByName("cur-nj"),
                              &workload::functionByName("aes-go")};
         cfg.warmup = 0.03;
-        const CalibrationResult result = calibrate(cfg);
+        const CalibrationProfile result = calibrate(cfg);
         return DiscountModel(result.congestion, result.performance);
     }();
     return model;
@@ -127,12 +128,12 @@ INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
 TEST(MachineSweep, IceLakePipeline)
 {
     CalibrationConfig ccfg;
-    ccfg.machine = sim::MachineConfig::iceLake4314();
+    ccfg.machine = sim::MachineCatalog::get("icelake-4314");
     ccfg.levels = {4, 8, 12};
     ccfg.referencePool = {&workload::functionByName("gzip-py"),
                           &workload::functionByName("profile-go")};
     ccfg.warmup = 0.03;
-    const CalibrationResult cal = calibrate(ccfg);
+    const CalibrationProfile cal = calibrate(ccfg);
     const DiscountModel model(cal.congestion, cal.performance);
 
     ExperimentConfig cfg;
@@ -151,7 +152,7 @@ TEST(MachineSweep, IceLakePipeline)
  *  overcommitting. */
 TEST(MemoryAdmission, DefersWhenFull)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     machine.memoryCapacity = 2_GiB; // room for only a few functions
 
     sim::Engine engine(machine);
@@ -172,7 +173,7 @@ TEST(MemoryAdmission, DefersWhenFull)
 
 TEST(MemoryAdmission, DisabledAllowsOvercommit)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     machine.memoryCapacity = 2_GiB;
 
     sim::Engine engine(machine);
@@ -190,7 +191,7 @@ TEST(MemoryAdmission, DisabledAllowsOvercommit)
 
 TEST(MemoryAdmission, BackfillsSmallerFunctions)
 {
-    auto machine = sim::MachineConfig::cascadeLake5218();
+    auto machine = sim::MachineCatalog::get("cascade-5218");
     machine.memoryCapacity = 3_GiB;
 
     sim::Engine engine(machine);

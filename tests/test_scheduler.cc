@@ -10,6 +10,7 @@
 
 #include "sim/os_scheduler.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::sim
 {
@@ -27,7 +28,7 @@ makeTask(const std::string &name)
 MachineConfig
 smallMachine(unsigned cores = 4, unsigned smt = 1)
 {
-    auto cfg = MachineConfig::cascadeLake5218();
+    auto cfg = MachineCatalog::get("cascade-5218");
     cfg.cores = cores;
     cfg.smtWays = smt;
     return cfg;

@@ -7,6 +7,7 @@
 
 #include "sim/machine.h"
 #include "workload/runtime_startup.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::workload
 {
@@ -64,7 +65,7 @@ TEST(Startup, RelativeDurations)
 {
     // Figure 6: Node.js startup is by far the longest, Go the
     // shortest; measure solo durations on the reference machine.
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     std::map<Language, Seconds> wall;
     for (Language lang : allLanguages()) {
         const auto run = sim::runSolo(cfg, [&] {

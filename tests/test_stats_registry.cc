@@ -10,6 +10,7 @@
 #include "common/stats_registry.h"
 #include "sim/engine.h"
 #include "workload/program.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus
 {
@@ -112,7 +113,7 @@ TEST(StatsRegistry, ResetAll)
 
 TEST(EngineStats, PopulatedByRuns)
 {
-    auto cfg = sim::MachineConfig::cascadeLake5218();
+    auto cfg = sim::MachineCatalog::get("cascade-5218");
     cfg.cores = 4;
     sim::Engine engine(cfg);
     StatsRegistry registry;

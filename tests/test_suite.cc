@@ -9,6 +9,7 @@
 
 #include "core/calibration.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::workload
 {
@@ -118,7 +119,7 @@ TEST(Suite, SoloSharedShareCharacterization)
     // The calibrated suite must reproduce the paper's Figure 4
     // structure: float-py nearly all-private, graph workloads heavy on
     // shared time.
-    const auto machine = sim::MachineConfig::cascadeLake5218();
+    const auto machine = sim::MachineCatalog::get("cascade-5218");
     const auto share = [&](const char *name) {
         const auto solo = pricing::measureSoloBaseline(
             machine, functionByName(name));

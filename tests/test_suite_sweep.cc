@@ -10,6 +10,7 @@
 #include "core/litmus_probe.h"
 #include "sim/machine.h"
 #include "workload/suite.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::workload
 {
@@ -30,7 +31,7 @@ class SuiteSweep : public ::testing::TestWithParam<std::string>
 
 TEST_P(SuiteSweep, SoloRunInvariants)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     const FunctionSpec &fn = functionByName(GetParam());
 
     const sim::RunResult run = sim::runSolo(

@@ -8,6 +8,7 @@
 
 #include "sim/machine.h"
 #include "workload/traffic_gen.h"
+#include "sim/machine_catalog.h"
 
 namespace litmus::workload
 {
@@ -39,7 +40,7 @@ TEST(TrafficGen, MbThreadStreamsThroughMemory)
 
 TEST(TrafficGen, SpawnPinsOnePerCpu)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::Engine engine(cfg);
     const auto handles =
         spawnGenerator(engine, GeneratorKind::CtGen, 5, 3);
@@ -53,7 +54,7 @@ TEST(TrafficGen, SpawnPinsOnePerCpu)
 
 TEST(TrafficGen, SpawnRejectsOverflow)
 {
-    auto cfg = sim::MachineConfig::cascadeLake5218();
+    auto cfg = sim::MachineCatalog::get("cascade-5218");
     cfg.cores = 4;
     sim::Engine engine(cfg);
     EXPECT_EXIT(spawnGenerator(engine, GeneratorKind::CtGen, 4, 1),
@@ -67,7 +68,7 @@ TEST(TrafficGen, SpawnRejectsOverflow)
  */
 TEST(TrafficGen, Figure1Signatures)
 {
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
 
     auto measure = [&](GeneratorKind kind, unsigned level) {
         sim::Engine engine(cfg);
@@ -96,7 +97,7 @@ TEST(TrafficGen, LevelsProduceIncreasingCongestion)
 {
     // A fixed probe-like subject slows down monotonically (within
     // tolerance) as the MB-Gen level rises.
-    const auto cfg = sim::MachineConfig::cascadeLake5218();
+    const auto cfg = sim::MachineCatalog::get("cascade-5218");
     sim::ResourceDemand probeDemand;
     probeDemand.cpi0 = 0.6;
     probeDemand.l2Mpki = 15.0;
