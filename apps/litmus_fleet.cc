@@ -1,117 +1,44 @@
 /**
  * @file
- * litmus-fleet: multi-machine serving front end.
+ * litmus-fleet: multi-machine serving front end — a thin CLI shim
+ * over the scenario layer.
  *
- * Simulates a fleet of machines behind a dispatcher — homogeneous
- * (--preset/--machines) or heterogeneous
- * (--fleet=cascade-5218:8,icelake-4314:8) — drives it with open-loop
- * Poisson traffic sampled from the Table 1 suite, and prints
- * per-machine serving rows plus the aggregated fleet billing report
- * with a per-machine-type breakdown.
+ * Every run is a ScenarioSpec executed by a ScenarioRunner. The spec
+ * comes from --scenario=<file> (key=value, see examples/scenarios/),
+ * from the flags below, or both: flags given explicitly on the
+ * command line overlay the loaded file, so
+ * `litmus_fleet --scenario=peak.scenario --seed 9` reruns a scenario
+ * under a different seed. A flag invocation and the equivalent
+ * scenario file produce bit-identical fleet reports.
  *
- * Litmus pricing needs one calibration profile per machine type:
- * --tables loads serialized profiles (comma-separated paths; each
- * binds to the machine type recorded inside it), --calibrate sweeps
- * every fleet type in-process instead (memoized via ProfileStore),
- * and --tables-out persists the active profiles so the next run can
- * skip the sweep. A profile round-tripped through --tables-out /
- * --tables reproduces in-process billing exactly.
+ * Traffic is pluggable (--traffic=poisson|diurnal|burst|trace, plus
+ * the model knobs); Litmus pricing needs one calibration profile per
+ * machine type: --tables loads serialized profiles, --calibrate
+ * sweeps every fleet type in-process (memoized via ProfileStore), and
+ * --tables-out persists the active profiles.
  */
 
-#include <cstdlib>
 #include <iostream>
-#include <memory>
-#include <sstream>
+#include <string>
 #include <vector>
 
-#include "cluster/cluster.h"
 #include "common/arg_parser.h"
 #include "common/logging.h"
-#include "common/text_table.h"
-#include "core/profile_store.h"
-#include "core/table_io.h"
+#include "scenario/scenario_runner.h"
 #include "sim/machine_catalog.h"
 
 using namespace litmus;
-
-namespace
-{
-
-/** Integer flag that must be >= @p floor (casts would hide a typo'd
- *  negative as a huge unsigned). */
-long
-intAtLeast(const ArgParser &args, const std::string &name, long floor)
-{
-    const long value = args.getInt(name);
-    if (value < floor)
-        fatal("--", name, " must be >= ", floor, ", got ", value);
-    return value;
-}
-
-/** Split on a delimiter, dropping empty pieces. */
-std::vector<std::string>
-split(const std::string &text, char delim)
-{
-    std::vector<std::string> out;
-    std::istringstream stream(text);
-    std::string piece;
-    while (std::getline(stream, piece, delim)) {
-        if (!piece.empty())
-            out.push_back(piece);
-    }
-    return out;
-}
-
-/** Parse "type:count,type:count,..." into machine groups. */
-std::vector<cluster::MachineGroup>
-parseFleetSpec(const std::string &spec)
-{
-    std::vector<cluster::MachineGroup> fleet;
-    for (const std::string &piece : split(spec, ',')) {
-        cluster::MachineGroup group;
-        const auto colon = piece.find(':');
-        group.machine = piece.substr(0, colon);
-        if (colon != std::string::npos) {
-            const std::string count = piece.substr(colon + 1);
-            char *end = nullptr;
-            const long parsed = std::strtol(count.c_str(), &end, 10);
-            if (end != count.c_str() + count.size() || parsed < 1)
-                fatal("--fleet: bad machine count '", count, "' in '",
-                      piece, "' (want <type>:<count>)");
-            group.count = static_cast<unsigned>(parsed);
-        }
-        fleet.push_back(group);
-    }
-    if (fleet.empty())
-        fatal("--fleet: empty fleet spec");
-    return fleet;
-}
-
-/** Output path for one type's profile: the plain path for a
- *  single-type fleet, "<stem>-<type><ext>" when several types are
- *  being written. */
-std::string
-profileOutPath(const std::string &path, const std::string &type,
-               bool multiple)
-{
-    if (!multiple)
-        return path;
-    const auto slash = path.find_last_of('/');
-    const auto dot = path.find_last_of('.');
-    if (dot == std::string::npos ||
-        (slash != std::string::npos && dot < slash))
-        return path + "-" + type;
-    return path.substr(0, dot) + "-" + type + path.substr(dot);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     ArgParser args("litmus-fleet",
                    "Fleet-scale Litmus serving simulator");
-    args.addOption("machines", "machines in the fleet", "4")
+    args.addOption("scenario",
+                   "scenario file (key=value) providing the base "
+                   "spec; explicit flags overlay it",
+                   "")
+        .addOption("machines", "machines in the fleet", "4")
         .addOption("fleet",
                    "heterogeneous fleet spec, e.g. "
                    "cascade-5218:8,icelake-4314:8 (overrides "
@@ -121,8 +48,21 @@ main(int argc, char **argv)
                    "dispatch policy: round-robin | least-loaded | "
                    "warmth-aware | cost-aware",
                    "warmth-aware")
+        .addOption("traffic",
+                   "traffic model: poisson | diurnal | burst | trace",
+                   "poisson")
         .addOption("rate", "fleet arrival rate (invocations/s)", "2000")
-        .addOption("invocations", "total arrivals to serve", "10000")
+        .addOption("invocations",
+                   "total arrivals to serve (0 = until --duration)",
+                   "10000")
+        .addOption("duration",
+                   "stop generating arrivals at this simulated time "
+                   "(s; 0 = until --invocations)",
+                   "0")
+        .addOption("trace-file",
+                   "arrival trace CSV to replay (traffic=trace)", "")
+        .addOption("trace-rate-scale",
+                   "trace replay speedup: 2 = twice as fast", "1")
         .addOption("seed", "trace and jitter seed", "1")
         .addOption("epoch-us", "dispatch epoch in microseconds", "1000")
         .addOption("keepalive", "warm-container keep-alive (s)", "10")
@@ -151,141 +91,87 @@ main(int argc, char **argv)
                    "disable steady-state fast-forward and batched idle "
                    "epochs (bit-identical totals, slower; A/B "
                    "validation)");
+    args.parseOrExit(argc, argv);
 
-    if (!args.parse(argc, argv)) {
-        if (!args.errorText().empty())
-            std::cerr << "error: " << args.errorText() << "\n\n";
-        std::cerr << args.usage();
-        return args.errorText().empty() ? 0 : 2;
-    }
+    const std::string scenarioPath = args.get("scenario");
+    scenario::ScenarioSpec spec;
+    if (!scenarioPath.empty())
+        spec = scenario::ScenarioSpec::fromFile(scenarioPath);
 
-    cluster::ClusterConfig cfg;
-    const std::string fleetSpec = args.get("fleet");
-    if (!fleetSpec.empty()) {
-        cfg.fleet = parseFleetSpec(fleetSpec);
-    } else {
+    // Explicit flags overlay the (possibly file-provided) spec; an
+    // unset flag never overrides the file, and with no file the flag
+    // defaults equal the spec defaults, so the two paths agree.
+    const auto overlay = [&](const char *flag, const char *key) {
+        if (args.has(flag))
+            spec.set(key, args.get(flag));
+    };
+    if (args.has("fleet")) {
+        spec.set("fleet", args.get("fleet"));
+    } else if (args.has("machines") || args.has("preset") ||
+               args.has("machine")) {
         // Aliases ("cascadelake", "icelake", ...) resolve inside the
-        // catalog.
-        std::string preset = args.get("preset");
+        // catalog; a preset file registers its machine type first.
+        std::string preset;
         const std::string overridePath = args.get("machine");
         if (!overridePath.empty())
-            preset =
-                sim::MachineCatalog::registerFromFile(overridePath)
-                    .name;
-        cfg.fleet = {{preset, static_cast<unsigned>(
-                                  intAtLeast(args, "machines", 1))}};
-    }
-    cfg.policy = cluster::policyByName(args.get("policy"));
-    cfg.arrivalsPerSecond = args.getDouble("rate");
-    cfg.invocations =
-        static_cast<std::uint64_t>(intAtLeast(args, "invocations", 1));
-    cfg.seed = static_cast<std::uint64_t>(intAtLeast(args, "seed", 0));
-    cfg.epoch = args.getDouble("epoch-us") * 1e-6;
-    cfg.keepAlive = args.getDouble("keepalive");
-    cfg.threads =
-        static_cast<unsigned>(intAtLeast(args, "threads", 0));
-    cfg.exactQuantum = args.has("exact-quantum");
-
-    // ---- Litmus pricing: one profile + model per machine type ------
-    // Profiles and models are borrowed by the cluster; keep them
-    // alive here for the whole run.
-    std::vector<pricing::ProfileStore::ProfilePtr> profiles;
-    std::vector<std::unique_ptr<pricing::DiscountModel>> models;
-    const auto bind = [&](pricing::ProfileStore::ProfilePtr profile) {
-        if (profile->machine.empty())
-            fatal("litmus-fleet: profile has no machine name (legacy "
-                  "v1 artifact?) — recalibrate with --calibrate / "
-                  "litmus-sim calibrate to produce a v2 profile");
-        if (cfg.discountModels.contains(profile->machine))
-            fatal("litmus-fleet: two profiles for machine type '",
-                  profile->machine, "' — pass one per type");
-        models.push_back(
-            std::make_unique<pricing::DiscountModel>(*profile));
-        cfg.discountModels[profile->machine] = models.back().get();
-        profiles.push_back(std::move(profile));
-    };
-
-    const std::string tablesPaths = args.get("tables");
-    for (const std::string &path : split(tablesPaths, ','))
-        bind(std::make_shared<const pricing::CalibrationProfile>(
-            pricing::loadProfile(path)));
-
-    if (args.has("calibrate")) {
-        for (const cluster::MachineGroup &group : cfg.fleet) {
-            const std::string type =
-                sim::MachineCatalog::get(group.machine).name;
-            if (cfg.discountModels.contains(type))
-                continue; // a loaded profile wins
-            inform("calibrating ", type, " (dedicated sweep)...");
-            bind(pricing::ProfileStore::instance().dedicated(type));
+            preset = sim::MachineCatalog::registerFromFile(overridePath)
+                         .name;
+        else if (args.has("preset") || scenarioPath.empty())
+            preset = args.get("preset");
+        if (scenarioPath.empty()) {
+            spec.fleet = {{preset,
+                           static_cast<unsigned>(
+                               args.getIntAtLeast("machines", 1))}};
+        } else {
+            // Overlay only the pieces the user actually gave onto the
+            // file's fleet; never let an unset flag's default clobber
+            // it, and refuse a partial override of a mixed fleet.
+            if (spec.fleet.size() != 1)
+                fatal("litmus-fleet: --machines/--preset/--machine "
+                      "cannot partially override the heterogeneous "
+                      "fleet in '", scenarioPath,
+                      "' — pass --fleet=type:count,... instead");
+            if (preset.empty())
+                preset = spec.fleet.front().machine;
+            const unsigned count =
+                args.has("machines")
+                    ? static_cast<unsigned>(
+                          args.getIntAtLeast("machines", 1))
+                    : spec.fleet.front().count;
+            spec.fleet = {{preset, count}};
         }
     }
-    cfg.probes = !cfg.discountModels.empty();
+    overlay("policy", "policy");
+    overlay("traffic", "traffic");
+    overlay("rate", "rate");
+    overlay("invocations", "invocations");
+    overlay("duration", "duration");
+    overlay("trace-file", "trace.path");
+    overlay("trace-rate-scale", "trace.rate_scale");
+    overlay("seed", "seed");
+    overlay("epoch-us", "epoch_us");
+    overlay("keepalive", "keepalive");
+    overlay("threads", "threads");
+    overlay("tables", "tables");
+    overlay("tables-out", "tables_out");
+    if (args.has("calibrate"))
+        spec.calibrate = true;
+    if (args.has("exact-quantum"))
+        spec.exactQuantum = true;
 
-    const std::string tablesOut = args.get("tables-out");
-    if (!tablesOut.empty()) {
-        if (profiles.empty())
-            fatal("--tables-out needs profiles to write; add "
-                  "--calibrate or --tables");
-        for (const auto &profile : profiles) {
-            const std::string out = profileOutPath(
-                tablesOut, profile->machine, profiles.size() > 1);
-            pricing::saveProfile(out, *profile);
-            inform("profile for ", profile->machine, " written to ",
-                   out);
-        }
-    }
+    scenario::ScenarioRunner runner(std::move(spec));
 
     std::string fleetDesc;
-    for (const cluster::MachineGroup &group : cfg.fleet) {
+    for (const cluster::MachineGroup &group : runner.spec().fleet) {
         fleetDesc += (fleetDesc.empty() ? "" : ", ") + group.machine +
                      " x" + std::to_string(group.count);
     }
-    inform("serving ", cfg.invocations, " invocations at ",
-           cfg.arrivalsPerSecond, "/s across ", cfg.totalMachines(),
-           " machines (", fleetDesc, "; ",
-           cluster::policyName(cfg.policy), ")");
-    cluster::Cluster fleet(cfg);
-    const cluster::FleetReport &report = fleet.run();
+    inform("serving ", runner.traffic().name(), " traffic across ",
+           runner.clusterConfig().totalMachines(), " machines (",
+           fleetDesc, "; ",
+           cluster::policyName(runner.spec().policy), ")");
 
-    TextTable table({"machine", "type", "dispatched", "cold", "warm",
-                     "billed s", "commercial $", "litmus $",
-                     "mean lat ms"});
-    for (const cluster::MachineReport &m : report.machines) {
-        table.addRow({std::to_string(m.index), m.type,
-                      std::to_string(m.dispatched),
-                      std::to_string(m.coldStarts),
-                      std::to_string(m.warmStarts),
-                      TextTable::num(m.billedCpuSeconds),
-                      TextTable::num(m.commercialUsd, 6),
-                      TextTable::num(m.litmusUsd, 6),
-                      TextTable::num(1e3 * m.meanLatency)});
-    }
-    for (const cluster::TypeReport &t : report.types) {
-        table.addRow({"type", t.type, std::to_string(t.dispatched),
-                      std::to_string(t.coldStarts),
-                      std::to_string(t.warmStarts),
-                      TextTable::num(t.billedCpuSeconds),
-                      TextTable::num(t.commercialUsd, 6),
-                      TextTable::num(t.litmusUsd, 6),
-                      TextTable::num(100 * t.discount(), 1) + "% disc"});
-    }
-    table.addRow({"fleet", "", std::to_string(report.dispatched),
-                  std::to_string(report.coldStarts),
-                  std::to_string(report.warmStarts),
-                  TextTable::num(report.billedCpuSeconds),
-                  TextTable::num(report.commercialUsd, 6),
-                  TextTable::num(report.litmusUsd, 6),
-                  TextTable::num(1e3 * report.meanLatency)});
-    table.print(std::cout);
-
-    std::cout << "throughput "
-              << TextTable::num(report.throughput(), 0)
-              << " inv/s  cold-start rate "
-              << TextTable::num(100 * report.coldStartRate(), 1)
-              << "%  fleet discount "
-              << TextTable::num(100 * report.discount(), 1)
-              << "%  makespan " << TextTable::num(report.makespan)
-              << " s  rejected " << report.rejectedMemory << "\n";
+    const cluster::FleetReport &report = runner.run();
+    scenario::printFleetReport(std::cout, report);
     return 0;
 }

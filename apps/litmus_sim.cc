@@ -8,12 +8,13 @@
  *   slowdown   run the co-run slowdown experiment (no pricing)
  *   suite      list the Table 1 workload suite
  *   stats      run a churn scenario and dump engine statistics
+ *   scenario   run a declarative fleet scenario file
+ *              (litmus-sim scenario examples/scenarios/x.scenario)
  *
  * A machine override file (--machine my-fleet.conf, key=value) can
  * reshape the simulated server for any subcommand.
  */
 
-#include <fstream>
 #include <iostream>
 
 #include "common/arg_parser.h"
@@ -22,6 +23,7 @@
 #include "core/calibration.h"
 #include "core/experiment.h"
 #include "core/table_io.h"
+#include "scenario/scenario_runner.h"
 #include "sim/engine.h"
 #include "sim/machine_catalog.h"
 #include "workload/invoker.h"
@@ -52,18 +54,16 @@ cmdCalibrate(const ArgParser &args)
     pricing::CalibrationConfig cfg;
     cfg.machine = machineFromArgs(args);
 
-    const long maxLevel = args.getInt("max-level");
-    const long step = args.getInt("level-step");
-    if (maxLevel < 2 || step < 1)
-        fatal("need --max-level >= 2 and --level-step >= 1");
+    const long maxLevel = args.getIntAtLeast("max-level", 2);
+    const long step = args.getIntAtLeast("level-step", 1);
     cfg.levels.clear();
     for (long level = 2; level <= maxLevel; level += step)
         cfg.levels.push_back(static_cast<unsigned>(level));
 
-    const long sharing = args.getInt("sharing-functions");
+    const long sharing = args.getIntAtLeast("sharing-functions", 0);
     if (sharing > 0) {
         cfg.sharingFunctions = static_cast<unsigned>(sharing);
-        const long poolCpus = args.getInt("sharing-cpus");
+        const long poolCpus = args.getIntAtLeast("sharing-cpus", 1);
         for (long cpu = 0; cpu < poolCpus; ++cpu)
             cfg.sharingCpus.push_back(static_cast<unsigned>(cpu));
         cfg.generatorFirstCpu = static_cast<unsigned>(poolCpus);
@@ -87,13 +87,15 @@ cmdPrice(const ArgParser &args)
 
     pricing::ExperimentConfig cfg;
     cfg.machine = machineFromArgs(args);
-    cfg.coRunners = static_cast<unsigned>(args.getInt("co-runners"));
-    const long poolCpus = args.getInt("pool-cpus");
+    cfg.coRunners =
+        static_cast<unsigned>(args.getIntAtLeast("co-runners", 1));
+    const long poolCpus = args.getIntAtLeast("pool-cpus", 0);
     if (poolCpus > 0)
         cfg.layoutPooled(static_cast<unsigned>(poolCpus));
     else
         cfg.layoutOnePerCore();
-    cfg.repetitions = static_cast<unsigned>(args.getInt("reps"));
+    cfg.repetitions =
+        static_cast<unsigned>(args.getIntAtLeast("reps", 1));
     cfg.sharingFactor = args.getDouble("sharing-factor");
     if (args.has("turbo"))
         cfg.policy = sim::FrequencyPolicy::Turbo;
@@ -123,13 +125,15 @@ cmdSlowdown(const ArgParser &args)
 {
     pricing::ExperimentConfig cfg;
     cfg.machine = machineFromArgs(args);
-    cfg.coRunners = static_cast<unsigned>(args.getInt("co-runners"));
-    const long poolCpus = args.getInt("pool-cpus");
+    cfg.coRunners =
+        static_cast<unsigned>(args.getIntAtLeast("co-runners", 1));
+    const long poolCpus = args.getIntAtLeast("pool-cpus", 0);
     if (poolCpus > 0)
         cfg.layoutPooled(static_cast<unsigned>(poolCpus));
     else
         cfg.layoutOnePerCore();
-    cfg.repetitions = static_cast<unsigned>(args.getInt("reps"));
+    cfg.repetitions =
+        static_cast<unsigned>(args.getIntAtLeast("reps", 1));
 
     const auto result = pricing::runSlowdownExperiment(cfg);
     TextTable table({"function", "slowdown", "Tpriv", "Tshared"});
@@ -174,10 +178,11 @@ cmdStats(const ArgParser &args)
 
     workload::InvokerConfig icfg;
     icfg.placement = workload::InvokerConfig::Placement::Pooled;
-    icfg.targetCount = static_cast<unsigned>(args.getInt("co-runners"));
-    const long poolCpus = args.getInt("pool-cpus") > 0
-                              ? args.getInt("pool-cpus")
-                              : machine.hwThreads();
+    icfg.targetCount =
+        static_cast<unsigned>(args.getIntAtLeast("co-runners", 1));
+    const long stats_pool = args.getIntAtLeast("pool-cpus", 0);
+    const long poolCpus =
+        stats_pool > 0 ? stats_pool : machine.hwThreads();
     for (long cpu = 0; cpu < poolCpus; ++cpu)
         icfg.cpuPool.push_back(static_cast<unsigned>(cpu));
     workload::Invoker invoker(engine, icfg);
@@ -199,6 +204,29 @@ cmdStats(const ArgParser &args)
     return 0;
 }
 
+int
+cmdScenario(const ArgParser &args)
+{
+    if (args.positionalCount() < 2)
+        fatal("the scenario command needs a scenario file: "
+              "litmus-sim scenario <file>");
+    // --machine applies here like everywhere else: register the
+    // custom preset first so the scenario's fleet spec can name it.
+    const std::string overridePath = args.get("machine");
+    if (!overridePath.empty())
+        (void)sim::MachineCatalog::registerFromFile(overridePath);
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::fromFile(args.positional("arg"));
+    if (args.has("exact-quantum"))
+        spec.exactQuantum = true;
+    scenario::ScenarioRunner runner(std::move(spec));
+    inform("running scenario with ", runner.traffic().name(),
+           " traffic on ", runner.clusterConfig().totalMachines(),
+           " machines");
+    scenario::printFleetReport(std::cout, runner.run());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -208,7 +236,9 @@ main(int argc, char **argv)
                    "Litmus fair-pricing simulator for serverless "
                    "platforms");
     args.addPositional("command",
-                       "calibrate | price | slowdown | suite | stats")
+                       "calibrate | price | slowdown | suite | stats "
+                       "| scenario")
+        .addPositional("arg", "scenario file (scenario command)")
         .addOption("preset",
                    "machine type (catalog name, e.g. cascade-5218 | "
                    "icelake-4314)",
@@ -239,12 +269,7 @@ main(int argc, char **argv)
                    "disable the steady-state fast-forward engine "
                    "(bit-identical output, slower; A/B validation)");
 
-    if (!args.parse(argc, argv)) {
-        if (!args.errorText().empty())
-            std::cerr << "error: " << args.errorText() << "\n\n";
-        std::cerr << args.usage();
-        return args.errorText().empty() ? 0 : 2;
-    }
+    args.parseOrExit(argc, argv);
     if (args.positionalCount() == 0) {
         std::cerr << args.usage();
         return 2;
@@ -256,6 +281,15 @@ main(int argc, char **argv)
         sim::Engine::setDefaultFastForward(false);
 
     const std::string command = args.positional("command");
+    // Only the scenario command takes a second positional; keep the
+    // old "unexpected argument" failure for everything else.
+    if (command != "scenario" && args.positionalCount() > 1) {
+        std::cerr << "error: unexpected argument '"
+                  << args.positional("arg") << "' for command '"
+                  << command << "'\n\n"
+                  << args.usage();
+        return 2;
+    }
     if (command == "calibrate")
         return cmdCalibrate(args);
     if (command == "price")
@@ -266,6 +300,8 @@ main(int argc, char **argv)
         return cmdSuite(args);
     if (command == "stats")
         return cmdStats(args);
+    if (command == "scenario")
+        return cmdScenario(args);
     std::cerr << "error: unknown command '" << command << "'\n\n"
               << args.usage();
     return 2;

@@ -16,6 +16,7 @@
 #define LITMUS_BENCH_BENCH_UTIL_H
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -32,6 +33,15 @@
 
 namespace litmus::bench
 {
+
+/** |a - b| / |a| with a guard against an empty a. */
+inline double
+relativeError(double a, double b)
+{
+    if (a == 0.0)
+        return b == 0.0 ? 0.0 : 1.0;
+    return std::abs(a - b) / std::abs(a);
+}
 
 /** Repetitions per test function (env LITMUS_REPS overrides). */
 inline unsigned

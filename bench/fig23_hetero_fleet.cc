@@ -25,12 +25,9 @@
 
 #include <cmath>
 #include <iostream>
-#include <map>
-#include <memory>
 
 #include "bench_util.h"
-#include "cluster/cluster.h"
-#include "core/profile_store.h"
+#include "scenario/scenario_runner.h"
 
 using namespace litmus;
 
@@ -39,30 +36,29 @@ namespace
 
 constexpr unsigned kPerType = 4; // machines per generation
 
-cluster::ClusterConfig
-fleetConfig(cluster::DispatchPolicy policy, std::uint64_t per_machine,
-            double rate_per_machine)
+/** The mixed-fleet point as a declarative scenario; pricing (when
+ *  on) runs through the runner's memoized calibrate path. */
+scenario::ScenarioSpec
+fleetScenario(cluster::DispatchPolicy policy, std::uint64_t per_machine,
+              double rate_per_machine, bool pricing)
 {
-    cluster::ClusterConfig cfg;
-    cfg.fleet = {{"cascade-5218", kPerType},
-                 {"icelake-4314", kPerType}};
-    cfg.policy = policy;
-    const unsigned machines = cfg.totalMachines();
-    cfg.arrivalsPerSecond = rate_per_machine * machines;
-    cfg.invocations = per_machine * machines;
-    cfg.keepAlive = 10.0;
-    cfg.seed = 7;
-    return cfg;
+    scenario::ScenarioSpec spec;
+    spec.fleet = {{"cascade-5218", kPerType},
+                  {"icelake-4314", kPerType}};
+    spec.policy = policy;
+    const unsigned machines = 2 * kPerType;
+    spec.traffic.arrivalsPerSecond = rate_per_machine * machines;
+    spec.traffic.invocations = per_machine * machines;
+    spec.keepAlive = 10.0;
+    spec.seed = 7;
+    spec.calibrate = pricing;
+    // The env cap keeps smoke/sanitizer calibrations coarse; 0 means
+    // the full dedicated sweep.
+    spec.calibrationLevels = pricing::envOr("LITMUS_CAL_LEVELS", 0);
+    return spec;
 }
 
-/** |a - b| / |a| with a guard against an empty a. */
-double
-relativeError(double a, double b)
-{
-    if (a == 0.0)
-        return b == 0.0 ? 0.0 : 1.0;
-    return std::abs(a - b) / std::abs(a);
-}
+using bench::relativeError;
 
 /** Worst relative error between the type breakdown and the fleet
  *  totals (billed seconds, commercial and Litmus revenue), plus
@@ -111,37 +107,6 @@ main()
     const bool litmusPricing =
         pricing::envOr("LITMUS_FLEET_PRICING", 1) != 0;
 
-    // One profile per generation, calibrated once for the whole
-    // sweep — the calibrate-once-per-machine-type path a provider
-    // runs. LITMUS_CAL_LEVELS caps the sweep depth so smoke and
-    // sanitizer runs stay fast.
-    std::vector<std::unique_ptr<pricing::DiscountModel>> models;
-    std::map<std::string, const pricing::DiscountModel *> byType;
-    if (litmusPricing) {
-        for (const char *type : {"cascade-5218", "icelake-4314"}) {
-            std::cout << "calibrating " << type << "...\n";
-            const auto profile =
-                pricing::ProfileStore::instance().getOrCalibrate(
-                    std::string("fig23/") + type, [type] {
-                        auto ccfg = pricing::dedicatedCalibrationFor(
-                            sim::MachineCatalog::get(type));
-                        // Clamp to 2: the discount model needs two
-                        // rows per generator to fit anything.
-                        const unsigned cap = std::max(
-                            2u, pricing::envOr(
-                                    "LITMUS_CAL_LEVELS",
-                                    static_cast<unsigned>(
-                                        ccfg.levels.size())));
-                        if (ccfg.levels.size() > cap)
-                            ccfg.levels.resize(cap);
-                        return pricing::calibrate(ccfg);
-                    });
-            models.push_back(
-                std::make_unique<pricing::DiscountModel>(*profile));
-            byType[type] = models.back().get();
-        }
-    }
-
     TextTable table({"policy", "type", "dispatched", "cold %",
                      "billed s", "commercial $", "litmus $",
                      "discount %"});
@@ -149,11 +114,11 @@ main()
     double costCascadeShare = 0, rrCascadeShare = 0;
     double discountCascade = 0, discountIcelake = 0;
     for (cluster::DispatchPolicy policy : cluster::allPolicies()) {
-        auto cfg = fleetConfig(policy, perMachine, ratePerMachine);
-        cfg.discountModels = byType;
-        cfg.probes = litmusPricing;
-        cluster::Cluster fleet(cfg);
-        const cluster::FleetReport &report = fleet.run();
+        // Calibration is memoized process-wide (ProfileStore), so
+        // the per-policy runners share two sweeps, not run eight.
+        scenario::ScenarioRunner runner(fleetScenario(
+            policy, perMachine, ratePerMachine, litmusPricing));
+        const cluster::FleetReport &report = runner.run();
 
         worstTypeError =
             std::max(worstTypeError, typeBreakdownError(report));
@@ -196,23 +161,17 @@ main()
 
     // Determinism of the threaded runner on the mixed fleet: serial
     // vs. 8 workers must produce identical totals.
-    auto detCfg = fleetConfig(cluster::DispatchPolicy::CostAware,
-                              perMachine, ratePerMachine);
-    detCfg.discountModels = byType;
-    detCfg.probes = litmusPricing;
-    detCfg.threads = 1;
-    cluster::Cluster serial(detCfg);
+    auto detSpec = fleetScenario(cluster::DispatchPolicy::CostAware,
+                                 perMachine, ratePerMachine,
+                                 litmusPricing);
+    detSpec.threads = 1;
+    scenario::ScenarioRunner serial(detSpec);
     const cluster::FleetReport &serialReport = serial.run();
-    detCfg.threads = 8;
-    cluster::Cluster threaded(detCfg);
+    detSpec.threads = 8;
+    scenario::ScenarioRunner threaded(detSpec);
     const cluster::FleetReport &threadedReport = threaded.run();
     const bool deterministic =
-        serialReport.billedCpuSeconds ==
-            threadedReport.billedCpuSeconds &&
-        serialReport.coldStarts == threadedReport.coldStarts &&
-        serialReport.completions == threadedReport.completions &&
-        serialReport.commercialUsd == threadedReport.commercialUsd &&
-        serialReport.litmusUsd == threadedReport.litmusUsd;
+        cluster::identicalTotals(serialReport, threadedReport);
     std::cout << "\ndeterminism(mixed fleet, 1 vs 8 threads): "
               << (deterministic ? "identical totals" : "MISMATCH")
               << "  billed "

@@ -8,6 +8,7 @@
 #include "cluster/epoch_pool.h"
 #include "common/logging.h"
 #include "core/litmus_probe.h"
+#include "scenario/traffic_model.h"
 #include "sim/machine_catalog.h"
 #include "workload/suite.h"
 
@@ -41,10 +42,14 @@ ClusterConfig::validate() const
         fatal("ClusterConfig: functionPool is empty — traffic needs "
               "at least one function to sample (the default is "
               "workload::allFunctions())");
-    if (arrivalsPerSecond <= 0)
-        fatal("ClusterConfig: arrival rate must be positive");
-    if (invocations == 0)
-        fatal("ClusterConfig: need at least one invocation");
+    // With an external traffic model the rate/count knobs are the
+    // model's business; only the built-in Poisson source needs them.
+    if (!traffic) {
+        if (arrivalsPerSecond <= 0)
+            fatal("ClusterConfig: arrival rate must be positive");
+        if (invocations == 0)
+            fatal("ClusterConfig: need at least one invocation");
+    }
     if (epoch <= 0)
         fatal("ClusterConfig: epoch must be positive");
     if (keepAlive < 0)
@@ -62,6 +67,20 @@ FleetReport::sumMachineBilledSeconds() const
     for (const MachineReport &m : machines)
         sum += m.billedCpuSeconds;
     return sum;
+}
+
+bool
+identicalTotals(const FleetReport &a, const FleetReport &b)
+{
+    return a.arrivals == b.arrivals && a.dispatched == b.dispatched &&
+           a.rejectedMemory == b.rejectedMemory &&
+           a.completions == b.completions &&
+           a.coldStarts == b.coldStarts &&
+           a.warmStarts == b.warmStarts &&
+           a.billedCpuSeconds == b.billedCpuSeconds &&
+           a.commercialUsd == b.commercialUsd &&
+           a.litmusUsd == b.litmusUsd &&
+           a.meanLatency == b.meanLatency && a.makespan == b.makespan;
 }
 
 /**
@@ -393,17 +412,41 @@ Cluster::run()
         fatal("Cluster::run called twice");
 
     // The arrival trace is generated up front so traffic is identical
-    // across dispatch policies and thread counts.
+    // across dispatch policies and thread counts — for the pluggable
+    // scenario models exactly as for the built-in Poisson source.
     std::vector<Invocation> trace;
-    trace.reserve(cfg_.invocations);
-    Seconds at = 0;
-    for (std::uint64_t i = 0; i < cfg_.invocations; ++i) {
-        at += rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
-        Invocation inv;
-        inv.spec = cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
-        inv.arrival = at;
-        inv.seq = i;
-        trace.push_back(inv);
+    if (cfg_.traffic) {
+        trace = cfg_.traffic->generate(rng_, cfg_.functionPool);
+        if (trace.empty())
+            fatal("Cluster::run: traffic model '",
+                  cfg_.traffic->name(),
+                  "' generated no arrivals — check its rate/"
+                  "invocations/duration knobs");
+        Seconds prev = 0;
+        for (const Invocation &inv : trace) {
+            if (!inv.spec)
+                fatal("Cluster::run: traffic model '",
+                      cfg_.traffic->name(),
+                      "' emitted an arrival without a function");
+            if (inv.arrival < prev)
+                fatal("Cluster::run: traffic model '",
+                      cfg_.traffic->name(),
+                      "' emitted out-of-order arrivals (", inv.arrival,
+                      " after ", prev, ")");
+            prev = inv.arrival;
+        }
+    } else {
+        trace.reserve(cfg_.invocations);
+        Seconds at = 0;
+        for (std::uint64_t i = 0; i < cfg_.invocations; ++i) {
+            at += rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
+            Invocation inv;
+            inv.spec =
+                cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
+            inv.arrival = at;
+            inv.seq = i;
+            trace.push_back(inv);
+        }
     }
     report_.arrivals = trace.size();
 

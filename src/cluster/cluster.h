@@ -40,6 +40,11 @@
 #include "sim/engine.h"
 #include "workload/suite.h"
 
+namespace litmus::scenario
+{
+class TrafficModel;
+} // namespace litmus::scenario
+
 namespace litmus::cluster
 {
 
@@ -68,10 +73,20 @@ struct ClusterConfig
     DispatchPolicy policy = DispatchPolicy::RoundRobin;
 
     /** @name Open-loop fleet traffic @{ */
-    /** Fleet-wide mean arrival rate (invocations per second). */
+    /**
+     * Pluggable arrival process (scenario layer). Borrowed; must
+     * outlive the cluster. Null keeps the built-in open-loop Poisson
+     * source driven by arrivalsPerSecond/invocations below — which a
+     * `poisson` scenario model reproduces bit-exactly, so the two
+     * paths are interchangeable at the same seed.
+     */
+    const scenario::TrafficModel *traffic = nullptr;
+
+    /** Fleet-wide mean arrival rate (invocations per second). Used
+     *  by the built-in Poisson source (traffic == nullptr). */
     double arrivalsPerSecond = 2000.0;
 
-    /** Total arrivals to generate. */
+    /** Total arrivals to generate (built-in Poisson source). */
     std::uint64_t invocations = 10000;
 
     /** Sampling pool (the whole Table 1 suite by default; an
@@ -251,6 +266,14 @@ struct FleetReport
     /** Sum of per-machine billed seconds (conservation checks). */
     Seconds sumMachineBilledSeconds() const;
 };
+
+/**
+ * Bit-exact equality of two reports' fleet totals (counts, billed
+ * seconds, revenues, makespan) — the determinism-check comparison
+ * used by benches and tests. Per-machine/type breakdowns follow from
+ * the totals and are not re-compared.
+ */
+bool identicalTotals(const FleetReport &a, const FleetReport &b);
 
 /**
  * The fleet: engines, dispatcher, traffic, billing.

@@ -1,9 +1,11 @@
 #include "common/arg_parser.h"
 
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace litmus
 {
@@ -94,6 +96,17 @@ ArgParser::parse(int argc, const char *const *argv)
     return true;
 }
 
+void
+ArgParser::parseOrExit(int argc, const char *const *argv)
+{
+    if (parse(argc, argv))
+        return;
+    if (!error_.empty())
+        std::cerr << "error: " << error_ << "\n\n";
+    std::cerr << usage();
+    std::exit(error_.empty() ? 0 : 2);
+}
+
 std::string
 ArgParser::get(const std::string &name) const
 {
@@ -107,22 +120,30 @@ long
 ArgParser::getInt(const std::string &name) const
 {
     const std::string value = get(name);
-    char *end = nullptr;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (!end || *end != '\0' || value.empty())
+    const auto parsed = parseLongStrict(value);
+    if (!parsed)
         fatal("--", name, " expects an integer, got '", value, "'");
-    return parsed;
+    return *parsed;
 }
 
 double
 ArgParser::getDouble(const std::string &name) const
 {
     const std::string value = get(name);
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (!end || *end != '\0' || value.empty())
-        fatal("--", name, " expects a number, got '", value, "'");
-    return parsed;
+    const auto parsed = parseDoubleStrict(value);
+    if (!parsed)
+        fatal("--", name, " expects a finite number, got '", value,
+              "'");
+    return *parsed;
+}
+
+long
+ArgParser::getIntAtLeast(const std::string &name, long floor) const
+{
+    const long value = getInt(name);
+    if (value < floor)
+        fatal("--", name, " must be >= ", floor, ", got ", value);
+    return value;
 }
 
 bool

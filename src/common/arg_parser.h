@@ -48,12 +48,24 @@ class ArgParser
      */
     bool parse(int argc, const char *const *argv);
 
+    /**
+     * Standard CLI prologue: parse argv, and on --help or a parse
+     * error print the message + usage to stderr and exit (0 for
+     * --help, 2 for an error). Returns normally only on success, so
+     * main() reduces to `args.parseOrExit(argc, argv);`.
+     */
+    void parseOrExit(int argc, const char *const *argv);
+
     /** Value of an option (declared default if not given). */
     std::string get(const std::string &name) const;
 
     /** Typed accessors with validation (fatal() on malformed input). */
     long getInt(const std::string &name) const;
     double getDouble(const std::string &name) const;
+
+    /** Integer floored at @p floor — fatal() below it, so a typo'd
+     *  negative can't hide inside an unsigned cast. */
+    long getIntAtLeast(const std::string &name, long floor) const;
 
     /** True when the switch was present. */
     bool has(const std::string &name) const;

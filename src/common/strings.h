@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small shared string helpers used across the CLI and scenario
+ * layers.
+ */
+
+#ifndef LITMUS_COMMON_STRINGS_H
+#define LITMUS_COMMON_STRINGS_H
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace litmus
+{
+
+/** Split on a delimiter, dropping empty pieces ("a,,b" -> {a, b}). */
+inline std::vector<std::string>
+splitNonEmpty(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::istringstream stream(text);
+    std::string piece;
+    while (std::getline(stream, piece, delim)) {
+        if (!piece.empty())
+            out.push_back(piece);
+    }
+    return out;
+}
+
+/** Strict base-10 integer parse: the whole string must be consumed
+ *  (nullopt on trailing junk or an empty string). */
+inline std::optional<long>
+parseLongStrict(const std::string &value)
+{
+    if (value.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return std::nullopt;
+    return parsed;
+}
+
+/** Strict double parse: whole string consumed AND finite — "inf" and
+ *  "nan" are configuration poison (an infinite duration generates
+ *  arrivals forever, NaN defeats every ordering check). */
+inline std::optional<double>
+parseDoubleStrict(const std::string &value)
+{
+    if (value.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || !std::isfinite(parsed))
+        return std::nullopt;
+    return parsed;
+}
+
+} // namespace litmus
+
+#endif // LITMUS_COMMON_STRINGS_H

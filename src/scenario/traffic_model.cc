@@ -1,0 +1,442 @@
+#include "scenario/traffic_model.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "workload/suite.h"
+
+namespace litmus::scenario
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Shared stop rule: a model emits arrivals until the invocation
+ *  count (when set) or the duration (when set) is exhausted. */
+bool
+wantMore(const TrafficSpec &spec, std::uint64_t count, Seconds at)
+{
+    if (spec.invocations > 0 && count >= spec.invocations)
+        return false;
+    if (spec.duration > 0 && at >= spec.duration)
+        return false;
+    return true;
+}
+
+/** Append one arrival, sampling the pool for its function. */
+void
+emit(std::vector<cluster::Invocation> &out, Seconds at, Rng &rng,
+     const std::vector<const workload::FunctionSpec *> &pool)
+{
+    cluster::Invocation inv;
+    inv.spec = pool[rng.below(pool.size())];
+    inv.arrival = at;
+    inv.seq = out.size();
+    out.push_back(inv);
+}
+
+/**
+ * The legacy open-loop source. The draw order (exponential gap, then
+ * uniform function index) replicates the cluster's old inline
+ * generator exactly, so a poisson scenario at seed S is bit-identical
+ * to the pre-scenario fleet at seed S.
+ */
+class PoissonTraffic final : public TrafficModel
+{
+  public:
+    explicit PoissonTraffic(TrafficSpec spec) : spec_(std::move(spec)) {}
+
+    std::string name() const override { return "poisson"; }
+
+    std::vector<cluster::Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const override
+    {
+        std::vector<cluster::Invocation> out;
+        out.reserve(spec_.invocations);
+        Seconds at = 0;
+        // Count-limited runs execute exactly the legacy loop: one
+        // exponential gap plus one uniform pool index per arrival.
+        while (spec_.invocations == 0 ||
+               out.size() < spec_.invocations) {
+            at += rng.exponential(1.0 / spec_.arrivalsPerSecond);
+            if (spec_.duration > 0 && at >= spec_.duration)
+                break;
+            emit(out, at, rng, pool);
+        }
+        return out;
+    }
+
+  private:
+    TrafficSpec spec_;
+};
+
+/**
+ * Sinusoid-modulated rate, sampled by Lewis-Shedler thinning: draw
+ * candidates from a homogeneous process at the peak rate and accept
+ * each with probability rate(t)/peak. Exact for any bounded rate
+ * function, and deterministic for a fixed Rng.
+ */
+class DiurnalTraffic final : public TrafficModel
+{
+  public:
+    explicit DiurnalTraffic(TrafficSpec spec) : spec_(std::move(spec)) {}
+
+    std::string name() const override { return "diurnal"; }
+
+    double rateAt(Seconds t) const
+    {
+        return spec_.arrivalsPerSecond *
+               (1.0 + spec_.diurnalAmplitude *
+                          std::sin(2.0 * kPi *
+                                   (t / spec_.diurnalPeriod +
+                                    spec_.diurnalPhase)));
+    }
+
+    std::vector<cluster::Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const override
+    {
+        const double peak =
+            spec_.arrivalsPerSecond * (1.0 + spec_.diurnalAmplitude);
+        std::vector<cluster::Invocation> out;
+        out.reserve(spec_.invocations);
+        Seconds at = 0;
+        while (wantMore(spec_, out.size(), at)) {
+            at += rng.exponential(1.0 / peak);
+            if (!wantMore(spec_, out.size(), at))
+                break;
+            if (rng.uniform() * peak <= rateAt(at))
+                emit(out, at, rng, pool);
+        }
+        return out;
+    }
+
+  private:
+    TrafficSpec spec_;
+};
+
+/**
+ * Two-state on/off MMPP. Holding times are exponential (mean burstOn
+ * / burstOff); arrivals are Poisson at rateOn while on and rateOff
+ * while off, with rateOn solved so the long-run mean rate equals
+ * arrivalsPerSecond. Candidates falling past the state boundary are
+ * discarded — valid because the Poisson process is memoryless.
+ */
+class BurstTraffic final : public TrafficModel
+{
+  public:
+    explicit BurstTraffic(TrafficSpec spec) : spec_(std::move(spec))
+    {
+        rateOff_ = spec_.burstIdleFraction * spec_.arrivalsPerSecond;
+        const Seconds cycle = spec_.burstOn + spec_.burstOff;
+        rateOn_ = (spec_.arrivalsPerSecond * cycle -
+                   rateOff_ * spec_.burstOff) /
+                  spec_.burstOn;
+    }
+
+    std::string name() const override { return "burst"; }
+
+    double onRate() const { return rateOn_; }
+    double offRate() const { return rateOff_; }
+
+    std::vector<cluster::Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const override
+    {
+        std::vector<cluster::Invocation> out;
+        out.reserve(spec_.invocations);
+        bool on = true;
+        Seconds at = 0;
+        Seconds stateEnd = rng.exponential(spec_.burstOn);
+        while (wantMore(spec_, out.size(), at)) {
+            const double rate = on ? rateOn_ : rateOff_;
+            Seconds candidate = stateEnd;
+            if (rate > 0)
+                candidate = at + rng.exponential(1.0 / rate);
+            if (candidate >= stateEnd) {
+                at = stateEnd;
+                on = !on;
+                stateEnd = at + rng.exponential(on ? spec_.burstOn
+                                                   : spec_.burstOff);
+                continue;
+            }
+            at = candidate;
+            if (spec_.duration > 0 && at >= spec_.duration)
+                break;
+            emit(out, at, rng, pool);
+        }
+        return out;
+    }
+
+  private:
+    TrafficSpec spec_;
+    double rateOn_ = 0;
+    double rateOff_ = 0;
+};
+
+/**
+ * CSV replay. Rows are parsed and validated at construction (so a
+ * malformed trace fails when the scenario is built, not mid-run);
+ * generate() applies the rate rescale and the row/duration caps, and
+ * samples the pool for rows without a function name.
+ */
+class TraceTraffic final : public TrafficModel
+{
+  public:
+    explicit TraceTraffic(TrafficSpec spec)
+        : spec_(std::move(spec)), rows_(loadArrivalTrace(spec_.tracePath))
+    {
+        if (rows_.empty())
+            fatal("traffic trace '", spec_.tracePath,
+                  "' contains no arrivals");
+    }
+
+    std::string name() const override { return "trace"; }
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    std::vector<cluster::Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const override
+    {
+        std::vector<cluster::Invocation> out;
+        out.reserve(rows_.size());
+        for (const TraceRow &row : rows_) {
+            const Seconds at = row.arrival / spec_.traceRateScale;
+            if (spec_.invocations > 0 &&
+                out.size() >= spec_.invocations) {
+                // A cap that bites is worth a notice: a silently
+                // truncated replay reads as "covered the trace".
+                warn("trace '", spec_.tracePath, "': replay capped "
+                     "at ", out.size(), " of ", rows_.size(),
+                     " rows (invocations=", spec_.invocations, ")");
+                break;
+            }
+            if (spec_.duration > 0 && at >= spec_.duration)
+                break;
+            cluster::Invocation inv;
+            inv.spec = row.spec ? row.spec
+                                : pool[rng.below(pool.size())];
+            inv.arrival = at;
+            inv.seq = out.size();
+            out.push_back(inv);
+        }
+        return out;
+    }
+
+  private:
+    TrafficSpec spec_;
+    std::vector<TraceRow> rows_;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, TrafficModelFactory> factories;
+};
+
+Registry &
+registry()
+{
+    static Registry reg;
+    static const bool initialized = [] {
+        reg.factories["poisson"] = [](const TrafficSpec &spec) {
+            return std::make_unique<PoissonTraffic>(spec);
+        };
+        reg.factories["diurnal"] = [](const TrafficSpec &spec) {
+            return std::make_unique<DiurnalTraffic>(spec);
+        };
+        reg.factories["burst"] = [](const TrafficSpec &spec) {
+            return std::make_unique<BurstTraffic>(spec);
+        };
+        reg.factories["trace"] = [](const TrafficSpec &spec) {
+            return std::make_unique<TraceTraffic>(spec);
+        };
+        return true;
+    }();
+    (void)initialized;
+    return reg;
+}
+
+} // namespace
+
+void
+TrafficSpec::validate() const
+{
+    if (model.empty())
+        fatal("TrafficSpec: empty model name");
+    if (invocations == 0 && duration <= 0 && model != "trace")
+        fatal("TrafficSpec: need a stop condition — set invocations "
+              "or duration");
+    // Non-finite knobs are poison, not extremes: an infinite
+    // duration generates arrivals until memory runs out, and NaN is
+    // false in every stop/ordering comparison.
+    if (!std::isfinite(duration) || duration < 0)
+        fatal("TrafficSpec: duration must be finite and >= 0, got ",
+              duration);
+    if (model != "trace" &&
+        (arrivalsPerSecond <= 0 || !std::isfinite(arrivalsPerSecond)))
+        fatal("TrafficSpec: arrival rate must be positive and "
+              "finite");
+    if (diurnalPeriod <= 0 || !std::isfinite(diurnalPeriod))
+        fatal("TrafficSpec: diurnal.period must be positive and "
+              "finite");
+    if (diurnalAmplitude < 0 || diurnalAmplitude > 1)
+        fatal("TrafficSpec: diurnal.amplitude must be in [0, 1], got ",
+              diurnalAmplitude);
+    if (diurnalPhase < 0 || diurnalPhase >= 1)
+        fatal("TrafficSpec: diurnal.phase must be in [0, 1), got ",
+              diurnalPhase);
+    if (burstOn <= 0 || burstOff <= 0 || !std::isfinite(burstOn) ||
+        !std::isfinite(burstOff))
+        fatal("TrafficSpec: burst.on and burst.off must be positive "
+              "and finite");
+    if (burstIdleFraction < 0 || burstIdleFraction > 1)
+        fatal("TrafficSpec: burst.idle_fraction must be in [0, 1], "
+              "got ", burstIdleFraction);
+    if (model == "trace" && tracePath.empty())
+        fatal("TrafficSpec: trace model needs trace.path");
+    if (traceRateScale <= 0 || !std::isfinite(traceRateScale))
+        fatal("TrafficSpec: trace.rate_scale must be positive and "
+              "finite");
+}
+
+void
+registerTrafficModel(const std::string &name, TrafficModelFactory factory)
+{
+    if (!factory)
+        fatal("registerTrafficModel: null factory for '", name, "'");
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!reg.factories.emplace(name, std::move(factory)).second)
+        fatal("registerTrafficModel: '", name, "' already registered");
+}
+
+std::unique_ptr<TrafficModel>
+makeTrafficModel(const TrafficSpec &spec)
+{
+    spec.validate();
+    Registry &reg = registry();
+    TrafficModelFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        const auto it = reg.factories.find(spec.model);
+        if (it != reg.factories.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string &name : trafficModelNames())
+            known += (known.empty() ? "" : ", ") + name;
+        fatal("unknown traffic model '", spec.model, "' (known: ",
+              known, ")");
+    }
+    return factory(spec);
+}
+
+std::vector<std::string>
+trafficModelNames()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<std::string> names;
+    names.reserve(reg.factories.size());
+    for (const auto &[name, factory] : reg.factories)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<TraceRow>
+loadArrivalTrace(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot read arrival trace '", path, "'");
+
+    std::vector<TraceRow> rows;
+    std::string line;
+    unsigned lineNo = 0;
+    Seconds prev = 0;
+    // One leading non-numeric row (after any comments) is tolerated
+    // as the column header.
+    bool headerAllowed = true;
+    while (std::getline(file, line)) {
+        ++lineNo;
+        // Strip comments and surrounding whitespace.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+
+        std::string stamp = line;
+        std::string function;
+        const auto comma = line.find(',');
+        if (comma != std::string::npos) {
+            stamp = line.substr(0, comma);
+            const auto stampEnd = stamp.find_last_not_of(" \t");
+            stamp = stampEnd == std::string::npos
+                        ? ""
+                        : stamp.substr(0, stampEnd + 1);
+            function = line.substr(comma + 1);
+            const auto fnFirst = function.find_first_not_of(" \t");
+            function = fnFirst == std::string::npos
+                           ? ""
+                           : function.substr(
+                                 fnFirst, function.find_last_not_of(
+                                              " \t") - fnFirst + 1);
+        }
+
+        char *end = nullptr;
+        const double at = std::strtod(stamp.c_str(), &end);
+        // strtod happily parses "nan"/"inf", and NaN slips past
+        // every ordering comparison below — reject non-finite
+        // timestamps as malformed.
+        if (!end || *end != '\0' || stamp.empty() ||
+            !std::isfinite(at)) {
+            // The header row is one where the timestamp field is not
+            // numeric at all; anything strtod makes partial sense of
+            // ("nan", "0.5s") is a malformed data row, even first.
+            if (headerAllowed && !stamp.empty() &&
+                end == stamp.c_str()) {
+                headerAllowed = false;
+                continue;
+            }
+            fatal("trace '", path, "' line ", lineNo,
+                  ": bad arrival timestamp '", stamp, "'");
+        }
+        headerAllowed = false;
+        if (at < 0)
+            fatal("trace '", path, "' line ", lineNo,
+                  ": negative arrival time ", at);
+        if (at < prev)
+            fatal("trace '", path, "' line ", lineNo,
+                  ": arrivals out of order (", at, " after ", prev,
+                  ")");
+        prev = at;
+
+        TraceRow row;
+        row.arrival = at;
+        // An unknown function name fatal()s with the suite listing.
+        if (!function.empty())
+            row.spec = &workload::functionByName(function);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace litmus::scenario

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Pluggable fleet traffic models: the arrival process as a plugin.
+ *
+ * Until now every fleet experiment was hard-wired to one open-loop
+ * Poisson source generated inline by the cluster. The Litmus fairness
+ * claims are only as convincing as the workloads billed under, so the
+ * scenario layer turns "how do invocations arrive" into an interface
+ * with four built-ins:
+ *
+ *  - poisson  the classic open-loop memoryless stream (the legacy
+ *             source, now a plugin — bit-identical to the cluster's
+ *             old inline generator at the same seed);
+ *  - diurnal  a sinusoid-modulated rate (day/night load swing),
+ *             sampled by Lewis-Shedler thinning against the peak
+ *             rate;
+ *  - burst    a two-state Markov-modulated process (MMPP-style
+ *             on/off): exponential on/off holding times, full burst
+ *             rate while on, an optional idle trickle while off, with
+ *             the rates solved so the long-run mean matches the
+ *             configured arrival rate;
+ *  - trace    replay of arrival timestamps (+ optional function
+ *             names) from a CSV file, with a rate-rescale knob.
+ *
+ * Custom processes register through registerTrafficModel() and become
+ * addressable from scenario files by name. Every model generates its
+ * whole trace up front from one Rng, so a fixed seed gives the same
+ * arrivals at any thread count — the fleet determinism guarantee does
+ * not depend on which model produced the traffic.
+ */
+
+#ifndef LITMUS_SCENARIO_TRAFFIC_MODEL_H
+#define LITMUS_SCENARIO_TRAFFIC_MODEL_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "common/rng.h"
+
+namespace litmus::scenario
+{
+
+/**
+ * Declarative description of one traffic source. The scenario-file
+ * keys map one-to-one (traffic=, rate=, invocations=, duration=,
+ * diurnal.*, burst.*, trace.*).
+ */
+struct TrafficSpec
+{
+    /** Model name resolved through the registry. */
+    std::string model = "poisson";
+
+    /** Long-run mean arrival rate (invocations per second). Ignored
+     *  by `trace`, whose timestamps carry their own rate. */
+    double arrivalsPerSecond = 2000.0;
+
+    /** Arrivals to generate (0 = run until `duration`). For `trace`:
+     *  a cap on replayed rows (0 = the whole file). */
+    std::uint64_t invocations = 10000;
+
+    /** Stop generating at this simulated time (0 = run until
+     *  `invocations`). When both are set, whichever limit is hit
+     *  first wins; at least one must be set. */
+    Seconds duration = 0;
+
+    /** @name diurnal: rate(t) = rate * (1 + A sin(2pi(t/P + phi))) @{ */
+    /** P: period of one load cycle in simulated seconds. */
+    Seconds diurnalPeriod = 60.0;
+    /** A: relative swing in [0, 1]; 1 idles the troughs completely. */
+    double diurnalAmplitude = 0.8;
+    /** phi: phase offset as a fraction of a period in [0, 1). */
+    double diurnalPhase = 0.0;
+    /** @} */
+
+    /** @name burst: two-state on/off MMPP @{ */
+    /** Mean burst (on-state) duration in seconds. */
+    Seconds burstOn = 0.5;
+    /** Mean gap (off-state) duration in seconds. */
+    Seconds burstOff = 2.0;
+    /** Off-state trickle as a fraction of the mean rate, in [0, 1].
+     *  The on-state rate is solved so the long-run mean stays at
+     *  arrivalsPerSecond. */
+    double burstIdleFraction = 0.0;
+    /** @} */
+
+    /** @name trace: CSV replay @{ */
+    /** CSV of `arrival_seconds,function` rows ('#' comments and an
+     *  optional header line allowed; an empty function field samples
+     *  the scenario's pool instead). */
+    std::string tracePath;
+    /** Rate rescale: 2.0 replays the trace twice as fast (timestamps
+     *  halved), 0.5 at half speed. */
+    double traceRateScale = 1.0;
+    /** @} */
+
+    /** fatal() on out-of-range parameters. */
+    void validate() const;
+};
+
+/**
+ * One arrival process. Implementations are immutable after
+ * construction; generate() derives everything else from the caller's
+ * Rng so repeated calls with equal-seeded generators produce
+ * identical traces.
+ */
+class TrafficModel
+{
+  public:
+    virtual ~TrafficModel() = default;
+
+    /** Registry name ("poisson", "diurnal", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Generate the full arrival trace: timestamps nondecreasing from
+     * 0, seq numbered 0..n-1, every spec non-null (sampled uniformly
+     * from @p pool unless the model carries its own function names).
+     * The cluster fatal()s on a model that violates the contract.
+     */
+    virtual std::vector<cluster::Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const = 0;
+};
+
+/** Factory signature for registered models. */
+using TrafficModelFactory =
+    std::function<std::unique_ptr<TrafficModel>(const TrafficSpec &)>;
+
+/**
+ * Register a custom model under @p name (fatal() on a duplicate).
+ * Thread-safe; the built-ins are pre-registered.
+ */
+void registerTrafficModel(const std::string &name,
+                          TrafficModelFactory factory);
+
+/** Build the model @p spec names; fatal() with the known names when
+ *  the registry has no entry. */
+std::unique_ptr<TrafficModel> makeTrafficModel(const TrafficSpec &spec);
+
+/** Registered model names, sorted (help text, error listings). */
+std::vector<std::string> trafficModelNames();
+
+/**
+ * Parsed trace-replay rows (exposed for tests and tools). fatal()s on
+ * unreadable files, malformed timestamps, unknown function names, or
+ * out-of-order rows. A null spec means "sample the pool at replay".
+ */
+struct TraceRow
+{
+    Seconds arrival = 0;
+    const workload::FunctionSpec *spec = nullptr;
+};
+std::vector<TraceRow> loadArrivalTrace(const std::string &path);
+
+} // namespace litmus::scenario
+
+#endif // LITMUS_SCENARIO_TRAFFIC_MODEL_H

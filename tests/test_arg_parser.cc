@@ -133,5 +133,31 @@ TEST(ArgParser, DuplicateDeclarationFatal)
                 ::testing::ExitedWithCode(1), "duplicate");
 }
 
+TEST(ArgParser, GetIntAtLeastEnforcesTheFloor)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {"run", "--count", "3"}));
+    EXPECT_EQ(p.getIntAtLeast("count", 1), 3);
+    EXPECT_EQ(p.getIntAtLeast("count", 3), 3);
+    EXPECT_EXIT((void)p.getIntAtLeast("count", 4),
+                ::testing::ExitedWithCode(1), "must be >= 4");
+}
+
+TEST(ArgParser, ParseOrExitExitsOnHelpAndErrors)
+{
+    auto help = makeParser();
+    std::vector<const char *> helpArgs = {"tool", "--help"};
+    EXPECT_EXIT(help.parseOrExit(2, helpArgs.data()),
+                ::testing::ExitedWithCode(0), "");
+    auto bad = makeParser();
+    std::vector<const char *> badArgs = {"tool", "--bogus"};
+    EXPECT_EXIT(bad.parseOrExit(2, badArgs.data()),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    auto good = makeParser();
+    std::vector<const char *> goodArgs = {"tool", "run"};
+    good.parseOrExit(2, goodArgs.data());
+    EXPECT_EQ(good.positional("command"), "run");
+}
+
 } // namespace
 } // namespace litmus
