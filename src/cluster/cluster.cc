@@ -8,7 +8,6 @@
 #include "cluster/epoch_pool.h"
 #include "common/logging.h"
 #include "core/litmus_probe.h"
-#include "scenario/traffic_model.h"
 #include "sim/machine_catalog.h"
 #include "workload/suite.h"
 
@@ -144,6 +143,7 @@ struct Cluster::Machine
     const pricing::DiscountModel *discountModel = nullptr;
 
     /** Task id -> invocation bookkeeping (worker-thread local). */
+    // LITMUS-LINT-ALLOW(unordered-decl): task-id keyed completion lookup only; completions fold in engine order, never map order
     std::unordered_map<std::uint64_t, Live> live;
 
     /** Completions buffered during the current epoch. */
@@ -151,6 +151,7 @@ struct Cluster::Machine
 
     /** Idle warm containers: function name -> keep-alive expiries,
      *  oldest first (consumed most-recently-used from the back). */
+    // LITMUS-LINT-ALLOW(unordered-decl): find() on dispatch; the only iteration is the expiry sweep in harvest(), an order-independent min+erase fold (audited below)
     std::unordered_map<std::string, std::deque<Seconds>> warmIdle;
 
     /** Earliest keep-alive expiry across all pools (may be stale-low
@@ -390,6 +391,7 @@ Cluster::harvest(Seconds now)
         if (now < m.nextWarmExpiry)
             continue;
         m.nextWarmExpiry = std::numeric_limits<double>::infinity();
+        // LITMUS-LINT-ALLOW(unordered-iter): order-independent fold — min() over pool fronts commutes and erasing expired pools is per-key; no report, billing total, or dispatch decision sees the visit order
         for (auto it = m.warmIdle.begin(); it != m.warmIdle.end();) {
             std::deque<Seconds> &pool = it->second;
             while (!pool.empty() && pool.front() <= now)

@@ -35,15 +35,11 @@
 #include <vector>
 
 #include "cluster/dispatcher.h"
+#include "cluster/traffic_source.h"
 #include "core/billing.h"
 #include "core/discount_model.h"
 #include "sim/engine.h"
 #include "workload/suite.h"
-
-namespace litmus::scenario
-{
-class TrafficModel;
-} // namespace litmus::scenario
 
 namespace litmus::cluster
 {
@@ -74,13 +70,14 @@ struct ClusterConfig
 
     /** @name Open-loop fleet traffic @{ */
     /**
-     * Pluggable arrival process (scenario layer). Borrowed; must
-     * outlive the cluster. Null keeps the built-in open-loop Poisson
-     * source driven by arrivalsPerSecond/invocations below — which a
-     * `poisson` scenario model reproduces bit-exactly, so the two
-     * paths are interchangeable at the same seed.
+     * Pluggable arrival process (scenario models all implement the
+     * TrafficSource interface). Borrowed; must outlive the cluster.
+     * Null keeps the built-in open-loop Poisson source driven by
+     * arrivalsPerSecond/invocations below — which a `poisson`
+     * scenario model reproduces bit-exactly, so the two paths are
+     * interchangeable at the same seed.
      */
-    const scenario::TrafficModel *traffic = nullptr;
+    const TrafficSource *traffic = nullptr;
 
     /** Fleet-wide mean arrival rate (invocations per second). Used
      *  by the built-in Poisson source (traffic == nullptr). */

@@ -96,6 +96,7 @@ struct MachineSnapshot
     Bytes memoryCapacity = 0;
 
     /** Idle warm containers: function name -> keep-alive expiries. */
+    // LITMUS-LINT-ALLOW(unordered-decl): dispatchers only find() by function name (warmIdleFor); no policy iterates the map, so dispatch decisions are order-independent
     const std::unordered_map<std::string, std::deque<Seconds>>
         *warmIdle = nullptr;
 

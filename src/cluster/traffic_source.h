@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The arrival-process interface the cluster consumes.
+ *
+ * The cluster serves whatever arrival stream it is handed; *how* that
+ * stream is produced (Poisson, diurnal, burst, trace replay, custom
+ * registrations) is the scenario layer's business. Keeping the
+ * interface here — below the scenario layer — inverts that dependency:
+ * scenario::TrafficModel derives from cluster::TrafficSource, the
+ * cluster never includes scenario headers, and the layer DAG
+ * (common -> sim -> workload -> core -> cluster -> scenario) stays
+ * acyclic.
+ */
+
+#ifndef LITMUS_CLUSTER_TRAFFIC_SOURCE_H
+#define LITMUS_CLUSTER_TRAFFIC_SOURCE_H
+
+#include <string>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "common/rng.h"
+
+namespace litmus::cluster
+{
+
+/**
+ * One arrival process. Implementations are immutable after
+ * construction; generate() derives everything else from the caller's
+ * Rng so repeated calls with equal-seeded generators produce
+ * identical traces.
+ */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Human-readable model name (error messages, registries). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Generate the full arrival trace: timestamps nondecreasing from
+     * 0, seq numbered 0..n-1, every spec non-null (sampled uniformly
+     * from @p pool unless the model carries its own function names).
+     * The cluster fatal()s on a source that violates the contract.
+     */
+    virtual std::vector<Invocation>
+    generate(Rng &rng,
+             const std::vector<const workload::FunctionSpec *> &pool)
+        const = 0;
+};
+
+} // namespace litmus::cluster
+
+#endif // LITMUS_CLUSTER_TRAFFIC_SOURCE_H

@@ -1,12 +1,11 @@
 #include "common/config_reader.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/logging.h"
-#include "sim/machine_config.h"
+#include "common/strings.h"
 
 namespace litmus
 {
@@ -93,12 +92,11 @@ ConfigReader::getInt(const std::string &key, long fallback) const
     if (!contains(key))
         return fallback;
     const std::string value = get(key);
-    char *end = nullptr;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (!end || *end != '\0' || value.empty())
+    const std::optional<long> parsed = parseLongStrict(value);
+    if (!parsed)
         fatal("ConfigReader: '", key, "' expects an integer, got '",
               value, "'");
-    return parsed;
+    return *parsed;
 }
 
 double
@@ -107,12 +105,13 @@ ConfigReader::getDouble(const std::string &key, double fallback) const
     if (!contains(key))
         return fallback;
     const std::string value = get(key);
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (!end || *end != '\0' || value.empty())
-        fatal("ConfigReader: '", key, "' expects a number, got '", value,
-              "'");
-    return parsed;
+    // Strict parse: whole string consumed AND finite — an "inf"
+    // capacity or "nan" rate is configuration poison.
+    const std::optional<double> parsed = parseDoubleStrict(value);
+    if (!parsed)
+        fatal("ConfigReader: '", key, "' expects a finite number, got '",
+              value, "'");
+    return *parsed;
 }
 
 bool
@@ -141,72 +140,6 @@ ConfigReader::set(const std::string &key, const std::string &value)
     if (!values_.contains(key))
         order_.push_back(key);
     values_[key] = value;
-}
-
-void
-applyMachineOverrides(sim::MachineConfig &machine,
-                      const ConfigReader &config)
-{
-    for (const std::string &key : config.keys()) {
-        if (key == "name") {
-            machine.name = config.get(key);
-        } else if (key == "cores") {
-            machine.cores =
-                static_cast<unsigned>(config.getInt(key, 0));
-        } else if (key == "smt_ways") {
-            machine.smtWays =
-                static_cast<unsigned>(config.getInt(key, 1));
-        } else if (key == "base_ghz") {
-            machine.baseFrequency = config.getDouble(key, 0) * 1e9;
-        } else if (key == "turbo_ghz") {
-            machine.turboFrequency = config.getDouble(key, 0) * 1e9;
-        } else if (key == "l3_capacity_mib") {
-            machine.l3Capacity = static_cast<Bytes>(
-                config.getDouble(key, 0) * 1024.0 * 1024.0);
-        } else if (key == "l3_hit_latency_ns") {
-            machine.l3HitLatencyNs = config.getDouble(key, 0);
-        } else if (key == "mem_latency_ns") {
-            machine.memLatencyNs = config.getDouble(key, 0);
-        } else if (key == "l3_service_rate") {
-            machine.l3ServiceRate = config.getDouble(key, 0);
-        } else if (key == "mem_service_rate") {
-            machine.memServiceRate = config.getDouble(key, 0);
-        } else if (key == "l3_queue_max") {
-            machine.l3QueueMax = config.getDouble(key, 0);
-        } else if (key == "mem_queue_max") {
-            machine.memQueueMax = config.getDouble(key, 0);
-        } else if (key == "queue_gamma") {
-            machine.queueGamma = config.getDouble(key, 0);
-        } else if (key == "capacity_miss_exponent") {
-            machine.capacityMissExponent = config.getDouble(key, 0);
-        } else if (key == "residency_factor") {
-            machine.residencyFactor = config.getDouble(key, 0);
-        } else if (key == "coupling_l3") {
-            machine.privateCouplingL3 = config.getDouble(key, 0);
-        } else if (key == "coupling_mem") {
-            machine.privateCouplingMem = config.getDouble(key, 0);
-        } else if (key == "coupling_saturation_mpki") {
-            machine.couplingSaturationMpki = config.getDouble(key, 0);
-        } else if (key == "coupling_max") {
-            machine.privateCouplingMax = config.getDouble(key, 0);
-        } else if (key == "smt_cpi_multiplier") {
-            machine.smtCpiMultiplier = config.getDouble(key, 0);
-        } else if (key == "time_slice_ms") {
-            machine.timeSlice = config.getDouble(key, 0) * 1e-3;
-        } else if (key == "context_switch_cycles") {
-            machine.contextSwitchCycles = config.getDouble(key, 0);
-        } else if (key == "warmth_max_penalty") {
-            machine.warmthMaxPenalty = config.getDouble(key, 0);
-        } else if (key == "warmth_rate") {
-            machine.warmthRate = config.getDouble(key, 0);
-        } else if (key == "memory_capacity_gib") {
-            machine.memoryCapacity = static_cast<Bytes>(
-                config.getDouble(key, 0) * 1024.0 * 1024.0 * 1024.0);
-        } else {
-            fatal("applyMachineOverrides: unknown key '", key, "'");
-        }
-    }
-    machine.validate();
 }
 
 } // namespace litmus

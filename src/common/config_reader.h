@@ -61,28 +61,4 @@ class ConfigReader
 
 } // namespace litmus
 
-namespace litmus::sim
-{
-struct MachineConfig;
-} // namespace litmus::sim
-
-namespace litmus
-{
-
-/**
- * Apply recognized keys onto a machine config (unknown keys are
- * fatal() so typos surface immediately). Recognized keys:
- * name, cores, smt_ways, base_ghz, turbo_ghz, l3_capacity_mib,
- * l3_hit_latency_ns, mem_latency_ns, l3_service_rate,
- * mem_service_rate, l3_queue_max, mem_queue_max, queue_gamma,
- * capacity_miss_exponent, residency_factor, coupling_l3,
- * coupling_mem, coupling_saturation_mpki, coupling_max,
- * smt_cpi_multiplier, time_slice_ms, context_switch_cycles,
- * warmth_max_penalty, warmth_rate, memory_capacity_gib.
- */
-void applyMachineOverrides(sim::MachineConfig &machine,
-                           const ConfigReader &config);
-
-} // namespace litmus
-
 #endif // LITMUS_COMMON_CONFIG_READER_H

@@ -39,6 +39,7 @@ parseLongStrict(const std::string &value)
     if (value.empty())
         return std::nullopt;
     char *end = nullptr;
+    // LITMUS-LINT-ALLOW(raw-parse): this IS the strict parser the rule routes to
     const long parsed = std::strtol(value.c_str(), &end, 10);
     if (!end || *end != '\0')
         return std::nullopt;
@@ -54,6 +55,7 @@ parseDoubleStrict(const std::string &value)
     if (value.empty())
         return std::nullopt;
     char *end = nullptr;
+    // LITMUS-LINT-ALLOW(raw-parse): this IS the strict parser the rule routes to
     const double parsed = std::strtod(value.c_str(), &end);
     if (!end || *end != '\0' || !std::isfinite(parsed))
         return std::nullopt;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/strings.h"
 #include "core/calibration.h"
 
 namespace litmus::pricing
@@ -65,11 +66,13 @@ envOr(const char *name, unsigned fallback)
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    const long parsed = std::strtol(value, nullptr, 10);
-    if (parsed <= 0)
+    // Whole-string parse: "8x" used to silently read as 8; a typoed
+    // env knob should fail loudly, not quietly misconfigure a bench.
+    const std::optional<long> parsed = parseLongStrict(value);
+    if (!parsed || *parsed <= 0)
         fatal("envOr: ", name, " must be a positive integer, got '",
               value, "'");
-    return static_cast<unsigned>(parsed);
+    return static_cast<unsigned>(*parsed);
 }
 
 namespace

@@ -402,6 +402,7 @@ loadArrivalTrace(const std::string &path)
         }
 
         char *end = nullptr;
+        // LITMUS-LINT-ALLOW(raw-parse): header detection needs strtod's partial-consumption position (consumed-nothing = header row), which parseDoubleStrict hides; the full-consumption + isfinite checks below are exactly the strict contract
         const double at = std::strtod(stamp.c_str(), &end);
         // strtod happily parses "nan"/"inf", and NaN slips past
         // every ordering comparison below — reject non-finite

@@ -37,7 +37,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/dispatcher.h"
+#include "cluster/traffic_source.h"
 #include "common/rng.h"
 
 namespace litmus::scenario
@@ -101,29 +101,15 @@ struct TrafficSpec
 };
 
 /**
- * One arrival process. Implementations are immutable after
- * construction; generate() derives everything else from the caller's
- * Rng so repeated calls with equal-seeded generators produce
- * identical traces.
+ * One arrival process, by its registry name ("poisson", "diurnal",
+ * ...). The generation contract — full trace up front, nondecreasing
+ * timestamps, non-null specs, identical output for equal-seeded
+ * generators — is cluster::TrafficSource's; the scenario layer adds
+ * only the registry. The interface lives in the cluster layer so the
+ * cluster can consume models without an upward include.
  */
-class TrafficModel
+class TrafficModel : public cluster::TrafficSource
 {
-  public:
-    virtual ~TrafficModel() = default;
-
-    /** Registry name ("poisson", "diurnal", ...). */
-    virtual std::string name() const = 0;
-
-    /**
-     * Generate the full arrival trace: timestamps nondecreasing from
-     * 0, seq numbered 0..n-1, every spec non-null (sampled uniformly
-     * from @p pool unless the model carries its own function names).
-     * The cluster fatal()s on a model that violates the contract.
-     */
-    virtual std::vector<cluster::Invocation>
-    generate(Rng &rng,
-             const std::vector<const workload::FunctionSpec *> &pool)
-        const = 0;
 };
 
 /** Factory signature for registered models. */

@@ -203,6 +203,7 @@ class ContentionMemo
     std::size_t capacity_;
     Key keyBuffer_;
     std::list<std::pair<Key, ContentionResult>> entries_; // MRU first
+    // LITMUS-LINT-ALLOW(unordered-decl): keyed lookup only; LRU/eviction order lives in entries_ (std::list), and hits are bit-identical to fresh solves
     std::unordered_map<Key, decltype(entries_)::iterator, KeyHash> index_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -264,6 +264,7 @@ class Engine
     MachineCounters machine_;
     std::vector<std::unique_ptr<Task>> tasks_;
     /** Ids of live tasks, so alive checks in run loops stay O(1). */
+    // LITMUS-LINT-ALLOW(unordered-decl): O(1) liveness membership only; never iterated — task visit order comes from tasks_, not this set
     std::unordered_set<std::uint64_t> liveIds_;
     std::vector<CompletionCallback> completionCbs_;
     std::vector<QuantumObserver> quantumCbs_;

@@ -1,5 +1,6 @@
 #include "sim/machine_config.h"
 
+#include "common/config_reader.h"
 #include "common/logging.h"
 
 namespace litmus::sim
@@ -39,6 +40,72 @@ MachineConfig::validate() const
         fatal("MachineConfig: timeSlice must be positive");
     if (warmthMaxPenalty < 0 || warmthRate < 0)
         fatal("MachineConfig: warmth parameters must be non-negative");
+}
+
+void
+applyMachineOverrides(MachineConfig &machine,
+                      const ConfigReader &config)
+{
+    for (const std::string &key : config.keys()) {
+        if (key == "name") {
+            machine.name = config.get(key);
+        } else if (key == "cores") {
+            machine.cores =
+                static_cast<unsigned>(config.getInt(key, 0));
+        } else if (key == "smt_ways") {
+            machine.smtWays =
+                static_cast<unsigned>(config.getInt(key, 1));
+        } else if (key == "base_ghz") {
+            machine.baseFrequency = config.getDouble(key, 0) * 1e9;
+        } else if (key == "turbo_ghz") {
+            machine.turboFrequency = config.getDouble(key, 0) * 1e9;
+        } else if (key == "l3_capacity_mib") {
+            machine.l3Capacity = static_cast<Bytes>(
+                config.getDouble(key, 0) * 1024.0 * 1024.0);
+        } else if (key == "l3_hit_latency_ns") {
+            machine.l3HitLatencyNs = config.getDouble(key, 0);
+        } else if (key == "mem_latency_ns") {
+            machine.memLatencyNs = config.getDouble(key, 0);
+        } else if (key == "l3_service_rate") {
+            machine.l3ServiceRate = config.getDouble(key, 0);
+        } else if (key == "mem_service_rate") {
+            machine.memServiceRate = config.getDouble(key, 0);
+        } else if (key == "l3_queue_max") {
+            machine.l3QueueMax = config.getDouble(key, 0);
+        } else if (key == "mem_queue_max") {
+            machine.memQueueMax = config.getDouble(key, 0);
+        } else if (key == "queue_gamma") {
+            machine.queueGamma = config.getDouble(key, 0);
+        } else if (key == "capacity_miss_exponent") {
+            machine.capacityMissExponent = config.getDouble(key, 0);
+        } else if (key == "residency_factor") {
+            machine.residencyFactor = config.getDouble(key, 0);
+        } else if (key == "coupling_l3") {
+            machine.privateCouplingL3 = config.getDouble(key, 0);
+        } else if (key == "coupling_mem") {
+            machine.privateCouplingMem = config.getDouble(key, 0);
+        } else if (key == "coupling_saturation_mpki") {
+            machine.couplingSaturationMpki = config.getDouble(key, 0);
+        } else if (key == "coupling_max") {
+            machine.privateCouplingMax = config.getDouble(key, 0);
+        } else if (key == "smt_cpi_multiplier") {
+            machine.smtCpiMultiplier = config.getDouble(key, 0);
+        } else if (key == "time_slice_ms") {
+            machine.timeSlice = config.getDouble(key, 0) * 1e-3;
+        } else if (key == "context_switch_cycles") {
+            machine.contextSwitchCycles = config.getDouble(key, 0);
+        } else if (key == "warmth_max_penalty") {
+            machine.warmthMaxPenalty = config.getDouble(key, 0);
+        } else if (key == "warmth_rate") {
+            machine.warmthRate = config.getDouble(key, 0);
+        } else if (key == "memory_capacity_gib") {
+            machine.memoryCapacity = static_cast<Bytes>(
+                config.getDouble(key, 0) * 1024.0 * 1024.0 * 1024.0);
+        } else {
+            fatal("applyMachineOverrides: unknown key '", key, "'");
+        }
+    }
+    machine.validate();
 }
 
 } // namespace litmus::sim

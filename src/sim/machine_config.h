@@ -171,4 +171,31 @@ struct MachineConfig
 
 } // namespace litmus::sim
 
+namespace litmus
+{
+class ConfigReader;
+} // namespace litmus
+
+namespace litmus::sim
+{
+
+/**
+ * Apply recognized key=value overrides onto a machine config (unknown
+ * keys are fatal() so typos surface immediately). Recognized keys:
+ * name, cores, smt_ways, base_ghz, turbo_ghz, l3_capacity_mib,
+ * l3_hit_latency_ns, mem_latency_ns, l3_service_rate,
+ * mem_service_rate, l3_queue_max, mem_queue_max, queue_gamma,
+ * capacity_miss_exponent, residency_factor, coupling_l3,
+ * coupling_mem, coupling_saturation_mpki, coupling_max,
+ * smt_cpi_multiplier, time_slice_ms, context_switch_cycles,
+ * warmth_max_penalty, warmth_rate, memory_capacity_gib.
+ *
+ * Lives in the sim layer (not with ConfigReader in common/): it
+ * writes sim::MachineConfig, and common/ must not reach up the DAG.
+ */
+void applyMachineOverrides(MachineConfig &machine,
+                           const ConfigReader &config);
+
+} // namespace litmus::sim
+
 #endif // LITMUS_SIM_MACHINE_CONFIG_H

@@ -123,6 +123,7 @@ class OsScheduler
 
     const MachineConfig &cfg_;
     std::vector<CpuState> cpus_;
+    // LITMUS-LINT-ALLOW(unordered-decl): membership queries only (contains/insert/erase); never iterated, so its order cannot reach any output
     std::unordered_set<const Task *> frozen_;
     std::uint64_t version_ = 0;
     /** CPUs with >= 2 queued tasks (tick() fast-path bookkeeping). */

@@ -119,6 +119,7 @@ class Invoker
         std::vector<unsigned> affinity;
         Bytes memory;
     };
+    // LITMUS-LINT-ALLOW(unordered-decl): task-id keyed ownership lookup only; never iterated (relaunch decisions key off completions, in completion order)
     std::unordered_map<std::uint64_t, Owned> owned_;
     std::uint64_t launched_ = 0;
     std::uint64_t deferred_ = 0;

@@ -97,6 +97,7 @@ class OpenLoopInvoker
     Rng rng_;
     bool started_ = false;
     Seconds nextArrival_ = 0;
+    // LITMUS-LINT-ALLOW(unordered-decl): task-id keyed lookup/erase only; never iterated, so order cannot leak into admission or billing
     std::unordered_map<std::uint64_t, Bytes> live_;
     std::uint64_t arrivals_ = 0;
     std::uint64_t launched_ = 0;

@@ -1,0 +1,7 @@
+// Fixture: malformed pragmas must fire bad-allow.
+// LITMUS-LINT-ALLOW(not-a-rule): the rule name is unknown
+// LITMUS-LINT-ALLOW(wall-clock)
+int fixtureValue()
+{
+    return 7;
+}

@@ -1,0 +1,8 @@
+// Fixture: lenient numeric parsing in src/ must fire per call.
+#include <cstdlib>
+#include <string>
+
+double fixtureParse(const std::string &text)
+{
+    return atof(text.c_str()) + std::stod(text);
+}

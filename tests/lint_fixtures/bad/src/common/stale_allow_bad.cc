@@ -1,0 +1,6 @@
+// Fixture: a pragma that suppresses nothing must fire stale-allow.
+// LITMUS-LINT-ALLOW(wall-clock): claims a clock read that is not here
+int fixtureValue()
+{
+    return 42;
+}

@@ -1,0 +1,6 @@
+// Fixture: `float` in a billing file must fire at every mention.
+double fixtureRate(float scale)
+{
+    float rate = 0.25;
+    return rate * scale;
+}

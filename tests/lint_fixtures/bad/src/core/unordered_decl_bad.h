@@ -1,0 +1,13 @@
+// Fixture: unannotated unordered container in src/ must fire.
+#ifndef FIXTURE_UNORDERED_DECL_BAD_H
+#define FIXTURE_UNORDERED_DECL_BAD_H
+
+#include <string>
+#include <unordered_map>
+
+struct FixtureIndex
+{
+    std::unordered_map<std::string, int> byName;
+};
+
+#endif // FIXTURE_UNORDERED_DECL_BAD_H

@@ -1,0 +1,15 @@
+// Fixture: iterating an unordered container must fire per site.
+#include <string>
+#include <unordered_map>
+
+int fixtureSum()
+{
+    // LITMUS-LINT-ALLOW(unordered-decl): this fixture isolates the iteration rule
+    std::unordered_map<std::string, int> counts;
+    int sum = 0;
+    for (const auto &entry : counts)
+        sum += entry.second;
+    if (counts.begin() == counts.end())
+        sum = -sum;
+    return sum;
+}

@@ -1,0 +1,8 @@
+// Fixture: upward and consumer includes from src/sim must fire.
+#include "cluster/cluster.h"
+#include "bench/harness.h"
+
+int fixtureLayer()
+{
+    return 1;
+}

@@ -1,0 +1,10 @@
+// Fixture: every real-time clock read must fire wall-clock.
+#include <chrono>
+#include <ctime>
+
+double fixtureNow()
+{
+    auto stamp = std::chrono::system_clock::now();
+    (void)stamp;
+    return static_cast<double>(time(nullptr));
+}

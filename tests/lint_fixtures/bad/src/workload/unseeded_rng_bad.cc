@@ -1,0 +1,10 @@
+// Fixture: global or unseeded randomness must fire unseeded-rng.
+#include <cstdlib>
+#include <random>
+
+int fixtureDraw()
+{
+    std::mt19937 twister;
+    std::random_device entropy;
+    return static_cast<int>(twister() + entropy()) + rand();
+}

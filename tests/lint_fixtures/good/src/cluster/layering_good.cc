@@ -1,0 +1,8 @@
+// Fixture: downward includes follow the layer DAG.
+#include "common/rng.h"
+#include "sim/engine.h"
+
+int fixtureLayer()
+{
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: the well-formed same-line pragma form.
+#include <ctime>
+
+long fixtureStamp()
+{
+    return time(nullptr); // LITMUS-LINT-ALLOW(wall-clock): fixture exercises the same-line pragma form
+}

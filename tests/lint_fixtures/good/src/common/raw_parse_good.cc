@@ -1,0 +1,13 @@
+// Fixture: numeric text goes through the strict whole-string parsers.
+#include <optional>
+#include <string>
+
+namespace litmus
+{
+std::optional<double> parseDoubleStrict(const std::string &value);
+}
+
+double fixtureParse(const std::string &text)
+{
+    return litmus::parseDoubleStrict(text).value_or(0.0);
+}

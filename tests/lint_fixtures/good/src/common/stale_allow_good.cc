@@ -1,0 +1,9 @@
+// Fixture: a pragma that suppresses a real finding is not stale.
+#include <cstdlib>
+#include <string>
+
+double fixtureHeaderProbe(const std::string &text)
+{
+    // LITMUS-LINT-ALLOW(raw-parse): fixture exercises the bare-line pragma form
+    return strtod(text.c_str(), nullptr);
+}

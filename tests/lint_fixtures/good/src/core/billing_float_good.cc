@@ -1,0 +1,6 @@
+// Fixture: money and billed seconds stay double end to end.
+double fixtureRate(double scale)
+{
+    double rate = 0.25;
+    return rate * scale;
+}

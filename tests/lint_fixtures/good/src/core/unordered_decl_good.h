@@ -1,0 +1,14 @@
+// Fixture: an audited unordered container carries an ALLOW record.
+#ifndef FIXTURE_UNORDERED_DECL_GOOD_H
+#define FIXTURE_UNORDERED_DECL_GOOD_H
+
+#include <string>
+#include <unordered_map>
+
+struct FixtureIndex
+{
+    // LITMUS-LINT-ALLOW(unordered-decl): lookup-only index; nothing iterates it
+    std::unordered_map<std::string, int> byName;
+};
+
+#endif // FIXTURE_UNORDERED_DECL_GOOD_H

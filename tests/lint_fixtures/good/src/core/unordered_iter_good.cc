@@ -1,0 +1,16 @@
+// Fixture: order-independent fold, audited; reports use the sorted copy.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int fixtureSum()
+{
+    // LITMUS-LINT-ALLOW(unordered-decl): scratch counter; reports read the sorted copy below
+    std::unordered_map<std::string, int> counts;
+    // LITMUS-LINT-ALLOW(unordered-iter): std::map's range constructor re-sorts; visit order cannot reach output
+    std::map<std::string, int> sorted(counts.begin(), counts.end());
+    int sum = 0;
+    for (const auto &entry : sorted)
+        sum += entry.second;
+    return sum;
+}

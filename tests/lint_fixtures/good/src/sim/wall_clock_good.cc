@@ -1,0 +1,5 @@
+// Fixture: simulated time is the only time source.
+double fixtureNow(double simNow)
+{
+    return simNow;
+}

@@ -1,0 +1,8 @@
+// Fixture: every generator is seeded from the experiment seed.
+#include <random>
+
+int fixtureDraw(unsigned seed)
+{
+    std::mt19937 twister(seed);
+    return static_cast<int>(twister());
+}

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * litmus-lint rule tests.
+ *
+ * Two layers:
+ *  - fixture scans: tests/lint_fixtures/{bad,good} are miniature src/
+ *    trees with one failing and one passing file per rule; the bad
+ *    tree must produce exactly the expected (file, line, rule)
+ *    triples and the good tree must be spotless.
+ *  - lintContent unit tests: pragma mechanics (one pragma suppresses
+ *    exactly one finding, bare-line targeting, stale/malformed
+ *    pragmas), comment/string stripping, and member-call exemptions.
+ *
+ * The fixture root is injected by CMake as LITMUS_LINT_FIXTURE_DIR.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using litmus::lint::Finding;
+using litmus::lint::Options;
+using litmus::lint::Report;
+using litmus::lint::runLint;
+
+/** Options scanning one fixture tree ("bad" or "good"). */
+Options
+fixtureOptions(const std::string &tree)
+{
+    Options options;
+    options.root = std::string(LITMUS_LINT_FIXTURE_DIR) + "/" + tree;
+    options.dirs = {"src"};
+    return options;
+}
+
+/** Findings as sorted "file:line:rule" triples for whole-tree diffs. */
+std::vector<std::string>
+triples(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> out;
+    for (const Finding &f : findings)
+        out.push_back(f.file + ":" + std::to_string(f.line) + ":" +
+                      f.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Finding>
+lintOne(const std::string &path, const std::string &content,
+        int *suppressions = nullptr)
+{
+    return litmus::lint::lintContent(path, content, Options{},
+                                     suppressions);
+}
+
+// ---------------------------------------------------------------- //
+// Fixture trees                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(LintFixtures, BadTreeFiresEveryRuleAtTheExpectedLocation)
+{
+    const Report report = runLint(fixtureOptions("bad"));
+    const std::vector<std::string> expected = {
+        "src/common/bad_allow_bad.cc:2:bad-allow",
+        "src/common/bad_allow_bad.cc:3:bad-allow",
+        "src/common/raw_parse_bad.cc:7:raw-parse",
+        "src/common/raw_parse_bad.cc:7:raw-parse",
+        "src/common/stale_allow_bad.cc:2:stale-allow",
+        "src/core/billing_float_bad.cc:2:float-billing",
+        "src/core/billing_float_bad.cc:4:float-billing",
+        "src/core/unordered_decl_bad.h:10:unordered-decl",
+        "src/core/unordered_iter_bad.cc:10:unordered-iter",
+        "src/core/unordered_iter_bad.cc:12:unordered-iter",
+        "src/sim/layering_bad.cc:2:layering",
+        "src/sim/layering_bad.cc:3:layering",
+        "src/sim/wall_clock_bad.cc:7:wall-clock",
+        "src/sim/wall_clock_bad.cc:9:wall-clock",
+        "src/workload/unseeded_rng_bad.cc:7:unseeded-rng",
+        "src/workload/unseeded_rng_bad.cc:8:unseeded-rng",
+        "src/workload/unseeded_rng_bad.cc:9:unseeded-rng",
+    };
+    EXPECT_EQ(triples(report.findings), expected);
+    EXPECT_EQ(report.filesScanned, 9);
+    // The iteration fixture ALLOWs its declaration to isolate the
+    // iteration rule.
+    EXPECT_EQ(report.suppressions, 1);
+}
+
+TEST(LintFixtures, GoodTreeIsCleanAndEveryPragmaIsUsed)
+{
+    const Report report = runLint(fixtureOptions("good"));
+    EXPECT_TRUE(report.clean()) << litmus::lint::toJson(report);
+    EXPECT_EQ(report.filesScanned, 9);
+    // decl 1 + iter-fixture 2 + stale-allow 1 + bad-allow 1: a stale
+    // or malformed pragma in a good file would surface as a finding.
+    EXPECT_EQ(report.suppressions, 5);
+}
+
+TEST(LintFixtures, EveryCatalogRuleHasAFailingFixture)
+{
+    const Report report = runLint(fixtureOptions("bad"));
+    for (const litmus::lint::RuleInfo &rule :
+         litmus::lint::ruleCatalog()) {
+        const bool fired = std::any_of(
+            report.findings.begin(), report.findings.end(),
+            [&](const Finding &f) { return f.rule == rule.name; });
+        EXPECT_TRUE(fired) << "no failing fixture for rule '"
+                           << rule.name << "'";
+    }
+}
+
+TEST(LintFixtures, RuleFilterScopesTheScan)
+{
+    Options options = fixtureOptions("bad");
+    options.rules = {"wall-clock"};
+    const Report report = runLint(options);
+    // The pragma rules always run: a filter narrows the scan, it
+    // must not hide rotting annotations.
+    const std::vector<std::string> expected = {
+        "src/common/bad_allow_bad.cc:2:bad-allow",
+        "src/common/bad_allow_bad.cc:3:bad-allow",
+        "src/common/stale_allow_bad.cc:2:stale-allow",
+        "src/sim/wall_clock_bad.cc:7:wall-clock",
+        "src/sim/wall_clock_bad.cc:9:wall-clock",
+    };
+    EXPECT_EQ(triples(report.findings), expected);
+}
+
+TEST(LintFixtures, UnknownRuleFilterThrows)
+{
+    Options options = fixtureOptions("good");
+    options.rules = {"no-such-rule"};
+    EXPECT_THROW(runLint(options), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- //
+// Pragma mechanics                                                 //
+// ---------------------------------------------------------------- //
+
+TEST(LintPragmas, OnePragmaSuppressesExactlyOneFinding)
+{
+    // Two float declarations on one line, one pragma: one finding
+    // must survive.
+    int suppressions = 0;
+    const auto findings = lintOne(
+        "src/core/billing_fixture.cc",
+        "float a; float b; // LITMUS-LINT-ALLOW(float-billing): one\n",
+        &suppressions);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "float-billing");
+    EXPECT_EQ(findings[0].line, 1);
+    EXPECT_EQ(suppressions, 1);
+
+    // A second pragma clears the line.
+    suppressions = 0;
+    const auto clean = lintOne(
+        "src/core/billing_fixture.cc",
+        "// LITMUS-LINT-ALLOW(float-billing): first of two\n"
+        "float a; float b; // LITMUS-LINT-ALLOW(float-billing): two\n",
+        &suppressions);
+    EXPECT_TRUE(clean.empty());
+    EXPECT_EQ(suppressions, 2);
+}
+
+TEST(LintPragmas, BareLinePragmaGuardsTheNextLine)
+{
+    const auto findings = lintOne(
+        "src/core/billing_fixture.cc",
+        "// LITMUS-LINT-ALLOW(float-billing): guards the next line\n"
+        "float a;\n");
+    EXPECT_TRUE(findings.empty());
+
+    // ...and only the next line.
+    const auto tooFar = lintOne(
+        "src/core/billing_fixture.cc",
+        "// LITMUS-LINT-ALLOW(float-billing): line 2 is blank\n"
+        "\n"
+        "float a;\n");
+    ASSERT_EQ(tooFar.size(), 2u);
+    EXPECT_EQ(triples(tooFar),
+              (std::vector<std::string>{
+                  "src/core/billing_fixture.cc:1:stale-allow",
+                  "src/core/billing_fixture.cc:3:float-billing"}));
+}
+
+TEST(LintPragmas, WrongRulePragmaIsStaleAndSuppressesNothing)
+{
+    const auto findings = lintOne(
+        "src/core/billing_fixture.cc",
+        "float a; // LITMUS-LINT-ALLOW(wall-clock): wrong rule\n");
+    EXPECT_EQ(triples(findings),
+              (std::vector<std::string>{
+                  "src/core/billing_fixture.cc:1:float-billing",
+                  "src/core/billing_fixture.cc:1:stale-allow"}));
+}
+
+TEST(LintPragmas, MalformedPragmasAreFindings)
+{
+    const auto missingReason = lintOne(
+        "src/common/fixture.cc",
+        "// LITMUS-LINT-ALLOW(wall-clock)\n");
+    ASSERT_EQ(missingReason.size(), 1u);
+    EXPECT_EQ(missingReason[0].rule, "bad-allow");
+
+    const auto unknownRule = lintOne(
+        "src/common/fixture.cc",
+        "// LITMUS-LINT-ALLOW(flux-capacitor): nope\n");
+    ASSERT_EQ(unknownRule.size(), 1u);
+    EXPECT_EQ(unknownRule[0].rule, "bad-allow");
+
+    const auto emptyReason = lintOne(
+        "src/common/fixture.cc",
+        "// LITMUS-LINT-ALLOW(wall-clock):   \n");
+    ASSERT_EQ(emptyReason.size(), 1u);
+    EXPECT_EQ(emptyReason[0].rule, "bad-allow");
+}
+
+// ---------------------------------------------------------------- //
+// Stripping and exemptions                                         //
+// ---------------------------------------------------------------- //
+
+TEST(LintStripping, CommentsAndStringsNeverFire)
+{
+    const auto findings = lintOne(
+        "src/sim/fixture.cc",
+        "// rand() and system_clock in a comment\n"
+        "/* strtod(text) in a block comment */\n"
+        "const char *msg = \"rand() inside a string literal\";\n");
+    EXPECT_TRUE(findings.empty()) << triples(findings)[0];
+}
+
+TEST(LintStripping, LineNumbersSurviveMultiLineConstructs)
+{
+    const auto findings = lintOne(
+        "src/sim/fixture.cc",
+        "/* a block comment\n"
+        "   spanning three\n"
+        "   lines */\n"
+        "float ignored; // not a billing file\n"
+        "double now = time(nullptr);\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "wall-clock");
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintExemptions, MemberCallsNamedLikeBannedFunctionsAreFine)
+{
+    const auto findings = lintOne(
+        "src/sim/fixture.cc",
+        "double fixture(const Task &task, Snapshot *snap)\n"
+        "{\n"
+        "    return task.time() + snap->clock() + sched::time(0);\n"
+        "}\n");
+    EXPECT_TRUE(findings.empty()) << triples(findings)[0];
+
+    // std:: qualification is still the banned libc call.
+    const auto stdCall = lintOne("src/sim/fixture.cc",
+                                 "long t = std::time(nullptr);\n");
+    ASSERT_EQ(stdCall.size(), 1u);
+    EXPECT_EQ(stdCall[0].rule, "wall-clock");
+}
+
+TEST(LintExemptions, RulesAreScopedToSrc)
+{
+    // raw-parse, unordered-decl, and float-billing are src/-only
+    // invariants; tools and bench may parse leniently.
+    const auto findings = lintOne(
+        "tools/report/billing_fixture.cc",
+        "std::unordered_map<int, float> m;\n"
+        "double d = atof(\"1.5\");\n");
+    EXPECT_TRUE(findings.empty()) << triples(findings)[0];
+}
+
+TEST(LintExemptions, RngHomeMayNameTheBannedTokens)
+{
+    const auto findings = lintOne(
+        "src/common/rng.h", "std::mt19937_64 engine_;\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintLayering, DownwardAndSameLayerIncludesPass)
+{
+    const auto findings = lintOne(
+        "src/scenario/fixture.cc",
+        "#include \"cluster/cluster.h\"\n"
+        "#include \"common/rng.h\"\n"
+        "#include \"scenario/spec.h\"\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintLayering, UpwardIncludeNamesBothEnds)
+{
+    const auto findings = lintOne(
+        "src/common/fixture.cc",
+        "#include \"scenario/spec.h\"\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "layering");
+    EXPECT_NE(findings[0].message.find("common/"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("scenario/spec.h"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// Report plumbing                                                  //
+// ---------------------------------------------------------------- //
+
+TEST(LintReport, JsonCarriesTotalsAndEscapes)
+{
+    const Report report = runLint(fixtureOptions("bad"));
+    const std::string json = litmus::lint::toJson(report);
+    EXPECT_NE(json.find("\"files_scanned\": 9"), std::string::npos);
+    EXPECT_NE(json.find("\"finding_count\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressions\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"wall-clock\""),
+              std::string::npos);
+    // Messages quote code (`float`): the backtick passes, but any
+    // embedded quote must be escaped.
+    EXPECT_EQ(json.find("\\\"`"), std::string::npos);
+}
+
+TEST(LintReport, CatalogAndKnownRuleAgree)
+{
+    const auto &rules = litmus::lint::ruleCatalog();
+    ASSERT_EQ(rules.size(), 9u);
+    for (const auto &rule : rules) {
+        EXPECT_TRUE(litmus::lint::knownRule(rule.name));
+        EXPECT_FALSE(rule.description.empty());
+    }
+    EXPECT_FALSE(litmus::lint::knownRule("flux-capacitor"));
+}
+
+} // namespace

@@ -105,8 +105,8 @@ allNames()
 
 INSTANTIATE_TEST_SUITE_P(
     AllFunctions, SuiteSweep, ::testing::ValuesIn(allNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string> &param) {
+        std::string name = param.param;
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -1,0 +1,938 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace litmus::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// Rule catalog                                                     //
+// ---------------------------------------------------------------- //
+
+constexpr const char *kWallClock = "wall-clock";
+constexpr const char *kUnseededRng = "unseeded-rng";
+constexpr const char *kUnorderedDecl = "unordered-decl";
+constexpr const char *kUnorderedIter = "unordered-iter";
+constexpr const char *kLayering = "layering";
+constexpr const char *kRawParse = "raw-parse";
+constexpr const char *kFloatBilling = "float-billing";
+constexpr const char *kStaleAllow = "stale-allow";
+constexpr const char *kBadAllow = "bad-allow";
+
+const std::vector<RuleInfo> &
+catalog()
+{
+    static const std::vector<RuleInfo> rules = {
+        {kWallClock,
+         "real-time clock use (system_clock/steady_clock/time()/...) "
+         "— simulated time and seeded RNG are the only time sources"},
+        {kUnseededRng,
+         "rand()/srand()/std::random_device/default_random_engine "
+         "anywhere, or std::mt19937 without an explicit seed, outside "
+         "common/rng — all randomness flows from the experiment seed"},
+        {kUnorderedDecl,
+         "unordered_map/unordered_set declared in src/ without an "
+         "audit annotation — confirm iteration order can never reach "
+         "a report, billing total, or dispatch decision, then ALLOW"},
+        {kUnorderedIter,
+         "iteration over an unordered container — the visit order is "
+         "implementation-defined and must not feed any output"},
+        {kLayering,
+         "#include edge that goes up the layer DAG common -> sim -> "
+         "workload -> core -> cluster -> scenario, or any src/ "
+         "include of apps//bench//tools//tests/"},
+        {kRawParse,
+         "lenient numeric parsing (atof/strtod/stod/...) in src/ — "
+         "use the strict whole-string parsers in common/strings.h"},
+        {kFloatBilling,
+         "`float` in billing/pricing code — money and billed seconds "
+         "are double end to end; float truncation breaks 1e-15 "
+         "conservation"},
+        {kStaleAllow,
+         "LITMUS-LINT-ALLOW pragma that suppressed nothing — stale "
+         "annotations rot into misdocumentation; remove it"},
+        {kBadAllow,
+         "malformed LITMUS-LINT-ALLOW pragma (unknown rule, missing "
+         "reason, or bad syntax)"},
+    };
+    return rules;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Blank out comments and string/char literals, preserving length and
+ * newlines so offsets and line numbers in the stripped buffer match
+ * the raw file. Rules then scan real code only; banned tokens inside
+ * comments or log strings never fire.
+ */
+std::string
+stripCommentsAndStrings(const std::string &raw)
+{
+    std::string out(raw);
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char c = raw[i];
+        const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out[i] = ' ';
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out[i] = ' ';
+            } else if (c == '"') {
+                state = State::String;
+            } else if (c == '\'') {
+                state = State::Char;
+            }
+            break;
+        case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case State::String:
+        case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == quote) {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+/** Split into lines (index 0 = line 1), keeping empty lines. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        const auto nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+int
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+/**
+ * Find the next occurrence of @p token as a whole identifier at or
+ * after @p from; npos when absent.
+ */
+std::size_t
+findToken(const std::string &code, const std::string &token,
+          std::size_t from)
+{
+    std::size_t pos = code.find(token, from);
+    while (pos != std::string::npos) {
+        const bool beginOk = pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool endOk = end >= code.size() || !isIdentChar(code[end]);
+        if (beginOk && endOk)
+            return pos;
+        pos = code.find(token, pos + 1);
+    }
+    return std::string::npos;
+}
+
+std::size_t
+skipSpace(const std::string &code, std::size_t pos)
+{
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos])))
+        ++pos;
+    return pos;
+}
+
+/** True when the identifier ending just before @p pos is qualified by
+ *  `.`, `->`, or a non-std `::` — i.e. a member or foreign name. */
+bool
+memberQualified(const std::string &code, std::size_t pos)
+{
+    std::size_t i = pos;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i == 0)
+        return false;
+    if (code[i - 1] == '.')
+        return true;
+    if (i >= 2 && code[i - 2] == '-' && code[i - 1] == '>')
+        return true;
+    if (i >= 2 && code[i - 2] == ':' && code[i - 1] == ':') {
+        // std::time / std::clock are still the banned libc calls.
+        std::size_t q = i - 2;
+        std::size_t end = q;
+        while (q > 0 && isIdentChar(code[q - 1]))
+            --q;
+        return code.compare(q, end - q, "std") != 0;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------- //
+// Path classification                                              //
+// ---------------------------------------------------------------- //
+
+struct FileClass
+{
+    bool inSrc = false;
+    int layer = -1; ///< rank in the DAG when inSrc, else -1
+    std::string basename;
+};
+
+/** Layer rank; the DAG is the true dependency order of the tree. */
+int
+layerRank(const std::string &layer)
+{
+    static const std::map<std::string, int> ranks = {
+        {"common", 0},  {"sim", 1},     {"workload", 2},
+        {"core", 3},    {"cluster", 4}, {"scenario", 5},
+    };
+    const auto it = ranks.find(layer);
+    return it == ranks.end() ? -1 : it->second;
+}
+
+FileClass
+classify(const std::string &path)
+{
+    FileClass fc;
+    fc.inSrc = path.rfind("src/", 0) == 0;
+    if (fc.inSrc) {
+        const auto slash = path.find('/', 4);
+        if (slash != std::string::npos)
+            fc.layer = layerRank(path.substr(4, slash - 4));
+    }
+    const auto slash = path.find_last_of('/');
+    fc.basename =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return fc;
+}
+
+bool
+isRngHome(const std::string &path)
+{
+    return path == "src/common/rng.h" || path == "src/common/rng.cc";
+}
+
+bool
+isBillingFile(const std::string &basename)
+{
+    for (const char *marker :
+         {"billing", "pricing", "discount", "poppa", "probe",
+          "calibration", "profile_store", "table_io"}) {
+        if (basename.find(marker) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------- //
+// Suppression pragmas                                              //
+// ---------------------------------------------------------------- //
+
+struct Pragma
+{
+    int targetLine = 0; ///< line whose findings it may suppress
+    int pragmaLine = 0; ///< where the pragma itself sits
+    std::string rule;
+    bool used = false;
+};
+
+constexpr const char *kAllowMarker = "LITMUS-LINT-ALLOW";
+
+/**
+ * Parse the pragmas in @p raw. A pragma on a line with code guards
+ * that line; a pragma alone on its line guards the next line.
+ * Malformed pragmas become findings immediately.
+ */
+std::vector<Pragma>
+collectPragmas(const std::string &path,
+               const std::vector<std::string> &rawLines,
+               const std::vector<std::string> &strippedLines,
+               std::vector<Finding> &findings)
+{
+    std::vector<Pragma> pragmas;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string &line = rawLines[i];
+        const int lineNo = static_cast<int>(i) + 1;
+        std::size_t pos = line.find(kAllowMarker);
+        while (pos != std::string::npos) {
+            const std::size_t after = pos + std::string(kAllowMarker).size();
+            const auto bad = [&](const std::string &why) {
+                findings.push_back(
+                    {path, lineNo, kBadAllow,
+                     "malformed " + std::string(kAllowMarker) +
+                         " pragma: " + why +
+                         " — expected // LITMUS-LINT-ALLOW(rule): "
+                         "reason"});
+            };
+            if (after >= line.size() || line[after] != '(') {
+                bad("missing '(rule)'");
+                break;
+            }
+            const auto close = line.find(')', after);
+            if (close == std::string::npos) {
+                bad("unterminated '(rule'");
+                break;
+            }
+            const std::string rule =
+                line.substr(after + 1, close - after - 1);
+            if (!knownRule(rule)) {
+                bad("unknown rule '" + rule + "'");
+                break;
+            }
+            std::size_t rest = close + 1;
+            if (rest >= line.size() || line[rest] != ':') {
+                bad("missing ': reason'");
+                break;
+            }
+            ++rest;
+            while (rest < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[rest])))
+                ++rest;
+            if (rest >= line.size()) {
+                bad("empty reason — the reason is the audit record");
+                break;
+            }
+            Pragma pragma;
+            pragma.pragmaLine = lineNo;
+            pragma.rule = rule;
+            // Alone on the line (no code survives stripping): guards
+            // the next line. Otherwise guards its own line.
+            const std::string &code = strippedLines[i];
+            const bool bare =
+                std::all_of(code.begin(), code.end(), [](char c) {
+                    return std::isspace(static_cast<unsigned char>(c));
+                });
+            pragma.targetLine = bare ? lineNo + 1 : lineNo;
+            pragmas.push_back(pragma);
+            pos = line.find(kAllowMarker, close);
+        }
+    }
+    return pragmas;
+}
+
+// ---------------------------------------------------------------- //
+// Rules                                                            //
+// ---------------------------------------------------------------- //
+
+using Emit = std::vector<Finding> &;
+
+void
+checkWallClock(const std::string &path, const std::string &code,
+               Emit findings)
+{
+    for (const char *token :
+         {"system_clock", "steady_clock", "high_resolution_clock",
+          "gettimeofday", "clock_gettime", "timespec_get"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kWallClock,
+                 std::string(token) +
+                     " reads real time — results would change run to "
+                     "run; use simulated time (Engine::now)"});
+        }
+    }
+    // time(...) / clock(...) as free or std:: calls; members like
+    // task.launchTime() or snapshot.clock are fine.
+    for (const char *token : {"time", "clock"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            const std::size_t after =
+                skipSpace(code, pos + std::string(token).size());
+            if (after >= code.size() || code[after] != '(')
+                continue;
+            if (memberQualified(code, pos))
+                continue;
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kWallClock,
+                 std::string(token) +
+                     "() reads the libc real-time clock — use "
+                     "simulated time (Engine::now)"});
+        }
+    }
+}
+
+void
+checkUnseededRng(const std::string &path, const std::string &code,
+                 Emit findings)
+{
+    if (isRngHome(path))
+        return;
+    struct Banned
+    {
+        const char *token;
+        bool call; ///< must be followed by '('
+        const char *why;
+    };
+    for (const Banned &ban : {
+             Banned{"rand", true,
+                    "rand() is unseeded global state — draw from a "
+                    "litmus::Rng owned by the experiment"},
+             Banned{"srand", true,
+                    "srand() is global seeding — seed a litmus::Rng "
+                    "explicitly instead"},
+             Banned{"random_device", false,
+                    "std::random_device is nondeterministic by design "
+                    "— derive streams from the experiment seed "
+                    "(Rng::fork)"},
+             Banned{"default_random_engine", false,
+                    "std::default_random_engine varies by platform — "
+                    "use litmus::Rng"},
+             Banned{"random_shuffle", true,
+                    "std::random_shuffle uses hidden global state — "
+                    "use std::shuffle with a litmus::Rng"},
+         }) {
+        for (std::size_t pos = findToken(code, ban.token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, ban.token, pos + 1)) {
+            if (ban.call) {
+                const std::size_t after = skipSpace(
+                    code, pos + std::string(ban.token).size());
+                if (after >= code.size() || code[after] != '(')
+                    continue;
+                if (memberQualified(code, pos))
+                    continue;
+            }
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kUnseededRng, ban.why});
+        }
+    }
+    // mt19937 with no initializer on its declaration line is seeded
+    // with the fixed default — every run identical to every other
+    // experiment's, defeating per-seed replication.
+    for (const char *token : {"mt19937", "mt19937_64"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            const std::size_t eol = code.find('\n', pos);
+            const std::string rest = code.substr(
+                pos + std::string(token).size(),
+                eol == std::string::npos ? std::string::npos
+                                         : eol - pos -
+                                               std::string(token).size());
+            if (rest.find('(') != std::string::npos ||
+                rest.find('{') != std::string::npos)
+                continue;
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kUnseededRng,
+                 std::string(token) +
+                     " without an explicit seed initializer — seed "
+                     "from the experiment (or use litmus::Rng)"});
+        }
+    }
+}
+
+/**
+ * Names declared as unordered containers in this file: after the
+ * template argument list closes, the next identifier (skipping
+ * cv/ref/pointer noise, possibly on the next line) is the variable.
+ */
+std::vector<std::string>
+unorderedNames(const std::string &code)
+{
+    std::vector<std::string> names;
+    for (const char *token : {"unordered_map", "unordered_set"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            std::size_t i =
+                skipSpace(code, pos + std::string(token).size());
+            if (i >= code.size() || code[i] != '<')
+                continue;
+            int depth = 0;
+            for (; i < code.size(); ++i) {
+                if (code[i] == '<')
+                    ++depth;
+                else if (code[i] == '>' && --depth == 0)
+                    break;
+            }
+            if (i >= code.size())
+                continue;
+            ++i;
+            for (;;) {
+                i = skipSpace(code, i);
+                if (i < code.size() &&
+                    (code[i] == '*' || code[i] == '&')) {
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            std::size_t end = i;
+            while (end < code.size() && isIdentChar(code[end]))
+                ++end;
+            if (end > i) {
+                const std::string name = code.substr(i, end - i);
+                if (name != "const")
+                    names.push_back(name);
+            }
+        }
+    }
+    return names;
+}
+
+void
+checkUnorderedDecl(const std::string &path, const FileClass &fc,
+                   const std::string &code, Emit findings)
+{
+    if (!fc.inSrc)
+        return;
+    for (const char *token : {"unordered_map", "unordered_set"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            // Only the declaration sites (token followed by '<');
+            // #include <unordered_map> lines survive stripping but
+            // have no template argument list.
+            const std::size_t after =
+                skipSpace(code, pos + std::string(token).size());
+            if (after >= code.size() || code[after] != '<')
+                continue;
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kUnorderedDecl,
+                 std::string(token) +
+                     " in src/ needs an iteration-order audit — "
+                     "annotate LITMUS-LINT-ALLOW(unordered-decl) with "
+                     "why its order can never reach a report, billing "
+                     "total, or dispatch decision (or use std::map)"});
+        }
+    }
+}
+
+void
+checkUnorderedIter(const std::string &path, const std::string &code,
+                   Emit findings)
+{
+    const std::vector<std::string> names = unorderedNames(code);
+    if (names.empty())
+        return;
+    for (const std::string &name : names) {
+        for (std::size_t pos = findToken(code, name, 0);
+             pos != std::string::npos;
+             pos = findToken(code, name, pos + 1)) {
+            const std::size_t after = pos + name.size();
+            bool iterates = false;
+            const std::size_t next = skipSpace(code, after);
+            // for (auto &x : name) / (... : m.name) / (... : *name):
+            // the name sits in a range-for's range expression — walk
+            // left across the expression to the ':' and confirm the
+            // head opens with `for (`.
+            {
+                std::size_t i = pos;
+                while (i > 0) {
+                    const char c = code[i - 1];
+                    if (isIdentChar(c) || c == '.' || c == '*' ||
+                        c == '&' || c == '>' || c == '-' ||
+                        std::isspace(static_cast<unsigned char>(c))) {
+                        --i;
+                        continue;
+                    }
+                    break;
+                }
+                if (i > 0 && code[i - 1] == ':' &&
+                    (i < 2 || code[i - 2] != ':')) {
+                    const std::size_t open = code.rfind('(', i - 1);
+                    if (open != std::string::npos) {
+                        std::size_t kw = open;
+                        while (kw > 0 &&
+                               std::isspace(static_cast<unsigned char>(
+                                   code[kw - 1])))
+                            --kw;
+                        if (kw >= 3 &&
+                            code.compare(kw - 3, 3, "for") == 0 &&
+                            (kw == 3 || !isIdentChar(code[kw - 4])))
+                            iterates = true;
+                    }
+                }
+            }
+            // name.begin() / name->begin() / cbegin / rbegin.
+            if (!iterates) {
+                std::size_t m = next;
+                if (m < code.size() && code[m] == '.')
+                    ++m;
+                else if (m + 1 < code.size() && code[m] == '-' &&
+                         code[m + 1] == '>')
+                    m += 2;
+                else
+                    m = std::string::npos;
+                if (m != std::string::npos) {
+                    m = skipSpace(code, m);
+                    for (const char *fn : {"begin", "cbegin", "rbegin"}) {
+                        if (findToken(code, fn, m) == m) {
+                            iterates = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (iterates) {
+                findings.push_back(
+                    {path, lineOfOffset(code, pos), kUnorderedIter,
+                     "iterating '" + name +
+                         "', an unordered container — visit order is "
+                         "implementation-defined; iterate a sorted "
+                         "copy or prove the fold is order-independent "
+                         "and ALLOW"});
+            }
+        }
+    }
+}
+
+void
+checkLayering(const std::string &path, const FileClass &fc,
+              const std::vector<std::string> &rawLines, Emit findings)
+{
+    static const std::vector<std::string> layerNames = {
+        "common", "sim", "workload", "core", "cluster", "scenario"};
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string &line = rawLines[i];
+        const std::size_t hash = line.find_first_not_of(" \t");
+        if (hash == std::string::npos || line[hash] != '#')
+            continue;
+        std::size_t p = skipSpace(line, hash + 1);
+        if (line.compare(p, 7, "include") != 0)
+            continue;
+        p = skipSpace(line, p + 7);
+        if (p >= line.size() || line[p] != '"')
+            continue;
+        const std::size_t close = line.find('"', p + 1);
+        if (close == std::string::npos)
+            continue;
+        const std::string target = line.substr(p + 1, close - p - 1);
+        const int lineNo = static_cast<int>(i) + 1;
+
+        if (fc.inSrc) {
+            for (const char *outside :
+                 {"apps/", "bench/", "tools/", "tests/"}) {
+                if (target.rfind(outside, 0) == 0) {
+                    findings.push_back(
+                        {path, lineNo, kLayering,
+                         "src/ must not include " +
+                             std::string(outside) +
+                             " — the library cannot depend on its "
+                             "consumers"});
+                }
+            }
+            const auto slash = target.find('/');
+            if (slash != std::string::npos && fc.layer >= 0) {
+                const int targetLayer =
+                    layerRank(target.substr(0, slash));
+                if (targetLayer > fc.layer) {
+                    findings.push_back(
+                        {path, lineNo, kLayering,
+                         "upward include: " + layerNames[fc.layer] +
+                             "/ must not include " + target +
+                             " (DAG: common -> sim -> workload -> "
+                             "core -> cluster -> scenario)"});
+                }
+            }
+        }
+    }
+}
+
+void
+checkRawParse(const std::string &path, const FileClass &fc,
+              const std::string &code, Emit findings)
+{
+    if (!fc.inSrc)
+        return;
+    for (const char *token :
+         {"atof", "atoi", "atol", "atoll", "strtod", "strtof",
+          "strtol", "strtoll", "strtoul", "strtoull", "stod", "stof",
+          "stoi", "stol", "stoll", "stoul", "stoull", "sscanf"}) {
+        for (std::size_t pos = findToken(code, token, 0);
+             pos != std::string::npos;
+             pos = findToken(code, token, pos + 1)) {
+            const std::size_t after =
+                skipSpace(code, pos + std::string(token).size());
+            if (after >= code.size() || code[after] != '(')
+                continue;
+            if (memberQualified(code, pos))
+                continue;
+            findings.push_back(
+                {path, lineOfOffset(code, pos), kRawParse,
+                 std::string(token) +
+                     "() accepts trailing junk, partial parses, or "
+                     "inf/nan — use parseLongStrict/parseDoubleStrict "
+                     "from common/strings.h"});
+        }
+    }
+}
+
+void
+checkFloatBilling(const std::string &path, const FileClass &fc,
+                  const std::string &code, Emit findings)
+{
+    if (!fc.inSrc || !isBillingFile(fc.basename))
+        return;
+    for (std::size_t pos = findToken(code, "float", 0);
+         pos != std::string::npos;
+         pos = findToken(code, "float", pos + 1)) {
+        findings.push_back(
+            {path, lineOfOffset(code, pos), kFloatBilling,
+             "`float` in billing/pricing code — the currency type is "
+             "double end to end (float rounding breaks conservation)"});
+    }
+}
+
+bool
+ruleEnabled(const Options &options, const std::string &rule)
+{
+    if (options.rules.empty())
+        return true;
+    return std::find(options.rules.begin(), options.rules.end(),
+                     rule) != options.rules.end();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// Public entry points                                              //
+// ---------------------------------------------------------------- //
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    return catalog();
+}
+
+bool
+knownRule(const std::string &name)
+{
+    for (const RuleInfo &rule : catalog()) {
+        if (rule.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<Finding>
+lintContent(const std::string &path, const std::string &content,
+            const Options &options, int *suppressions)
+{
+    const FileClass fc = classify(path);
+    const std::string code = stripCommentsAndStrings(content);
+    const std::vector<std::string> rawLines = splitLines(content);
+    const std::vector<std::string> strippedLines = splitLines(code);
+
+    std::vector<Finding> findings;
+    std::vector<Pragma> pragmas =
+        collectPragmas(path, rawLines, strippedLines, findings);
+
+    if (ruleEnabled(options, kWallClock))
+        checkWallClock(path, code, findings);
+    if (ruleEnabled(options, kUnseededRng))
+        checkUnseededRng(path, code, findings);
+    if (ruleEnabled(options, kUnorderedDecl))
+        checkUnorderedDecl(path, fc, code, findings);
+    if (ruleEnabled(options, kUnorderedIter))
+        checkUnorderedIter(path, code, findings);
+    if (ruleEnabled(options, kLayering))
+        checkLayering(path, fc, rawLines, findings);
+    if (ruleEnabled(options, kRawParse))
+        checkRawParse(path, fc, code, findings);
+    if (ruleEnabled(options, kFloatBilling))
+        checkFloatBilling(path, fc, code, findings);
+
+    // Suppress: each pragma eats at most one finding of its rule on
+    // its target line (first by position), so a line with two
+    // distinct violations needs two pragmas.
+    std::vector<Finding> kept;
+    int suppressed = 0;
+    for (Finding &finding : findings) {
+        bool drop = false;
+        for (Pragma &pragma : pragmas) {
+            if (!pragma.used && pragma.rule == finding.rule &&
+                pragma.targetLine == finding.line) {
+                pragma.used = true;
+                drop = true;
+                ++suppressed;
+                break;
+            }
+        }
+        if (!drop)
+            kept.push_back(std::move(finding));
+    }
+    for (const Pragma &pragma : pragmas) {
+        if (!pragma.used && ruleEnabled(options, pragma.rule)) {
+            kept.push_back(
+                {path, pragma.pragmaLine, kStaleAllow,
+                 "LITMUS-LINT-ALLOW(" + pragma.rule +
+                     ") suppresses nothing — remove the stale pragma"});
+        }
+    }
+    if (suppressions)
+        *suppressions += suppressed;
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return kept;
+}
+
+Report
+runLint(const Options &options)
+{
+    for (const std::string &rule : options.rules) {
+        if (!knownRule(rule))
+            throw std::runtime_error("unknown rule '" + rule + "'");
+    }
+    const fs::path root(options.root);
+    if (!fs::is_directory(root))
+        throw std::runtime_error("lint root '" + options.root +
+                                 "' is not a directory");
+
+    Report report;
+    std::vector<std::string> files;
+    for (const std::string &dir : options.dirs) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".h" && ext != ".cc" && ext != ".cpp" &&
+                ext != ".hpp")
+                continue;
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            // The linter's own sources spell every banned token and
+            // the pragma grammar literally (rule tables, messages,
+            // docs); they are covered by their unit tests instead of
+            // by self-scanning.
+            if (rel.rfind("tools/lint/", 0) == 0)
+                continue;
+            files.push_back(rel);
+        }
+    }
+    // Directory iteration order is filesystem-dependent; the report
+    // must not be.
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &file : files) {
+        std::ifstream in(root / file, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("cannot read '" + file + "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        ++report.filesScanned;
+        std::vector<Finding> findings = lintContent(
+            file, buffer.str(), options, &report.suppressions);
+        report.findings.insert(report.findings.end(),
+                               findings.begin(), findings.end());
+    }
+    return report;
+}
+
+std::string
+toJson(const Report &report)
+{
+    const auto escape = [](const std::string &text) {
+        std::string out;
+        out.reserve(text.size());
+        for (char c : text) {
+            switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                out += c;
+            }
+        }
+        return out;
+    };
+    std::ostringstream out;
+    out << "{\n  \"files_scanned\": " << report.filesScanned
+        << ",\n  \"suppressions\": " << report.suppressions
+        << ",\n  \"finding_count\": " << report.findings.size()
+        << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding &f = report.findings[i];
+        out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+            << escape(f.file) << "\", \"line\": " << f.line
+            << ", \"rule\": \"" << escape(f.rule)
+            << "\", \"message\": \"" << escape(f.message) << "\"}";
+    }
+    out << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+} // namespace litmus::lint

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * litmus-lint: project-invariant static analysis.
+ *
+ * The repo's guarantees — bit-identical billing at any thread count,
+ * seed-deterministic traffic, 1e-15 conservation — rest on source
+ * invariants that no compiler flag checks: no wall-clock or unseeded
+ * randomness, no unordered-container iteration feeding reports, no
+ * lenient numeric parsing, and a strict layer DAG. This tool walks
+ * the tree and enforces them as named rules, so the invariants
+ * survive contributors instead of depending on reviewer vigilance.
+ *
+ * Deliberately dependency-free (std + std::filesystem only): it must
+ * build in seconds as a CI fast-gate, before the simulator itself.
+ *
+ * Rule catalog (see ruleCatalog() for one-line docs):
+ *   wall-clock      real-time clocks anywhere in scanned code
+ *   unseeded-rng    rand()/random_device/unseeded mt19937 outside
+ *                   common/rng
+ *   unordered-decl  unordered containers in src/ need an audit
+ *                   annotation (order must never reach output)
+ *   unordered-iter  iteration over an unordered container
+ *   layering        upward #include edges in the layer DAG
+ *                   common -> sim -> workload -> core -> cluster ->
+ *                   scenario, and src/ includes of apps//bench//
+ *                   tools//tests/
+ *   raw-parse       lenient numeric parsing in src/ (use the strict
+ *                   parsers in common/strings.h)
+ *   float-billing   `float` in billing/pricing code (double is the
+ *                   project currency type)
+ *   stale-allow     a LITMUS-LINT-ALLOW pragma that suppresses
+ *                   nothing
+ *   bad-allow       a malformed LITMUS-LINT-ALLOW pragma
+ *
+ * Suppression: `// LITMUS-LINT-ALLOW(rule): reason` on the offending
+ * line, or alone on the line above it. Each pragma suppresses exactly
+ * one finding of the named rule; the reason is mandatory — it is the
+ * audit record.
+ */
+
+#ifndef LITMUS_TOOLS_LINT_LINT_H
+#define LITMUS_TOOLS_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace litmus::lint
+{
+
+/** One rule violation (or pragma problem) at a source location. */
+struct Finding
+{
+    std::string file; ///< path relative to the scan root
+    int line = 0;     ///< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** A rule's name and one-line description, for --list-rules. */
+struct RuleInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/** What to scan and how. */
+struct Options
+{
+    /** Tree root; scan paths and reported paths are relative to it. */
+    std::string root = ".";
+
+    /** Directories under root to walk (default: the code tree). */
+    std::vector<std::string> dirs = {"src", "apps", "bench", "tools"};
+
+    /** When non-empty, only run rules whose name is listed. The
+     *  pragma rules (stale-allow / bad-allow) always run. */
+    std::vector<std::string> rules;
+};
+
+/** Scan outcome. */
+struct Report
+{
+    std::vector<Finding> findings; ///< file, then line order
+    int filesScanned = 0;
+    int suppressions = 0; ///< findings silenced by ALLOW pragmas
+
+    bool clean() const { return findings.empty(); }
+};
+
+/** All rules, in catalog order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** True when @p name is a known rule (incl. the pragma rules). */
+bool knownRule(const std::string &name);
+
+/** Run the scan. Throws std::runtime_error on unreadable root/dirs. */
+Report runLint(const Options &options);
+
+/**
+ * Lint a single in-memory file (unit-test entry point). @p path is
+ * the root-relative path the rules use for scoping, e.g.
+ * "src/core/billing.cc".
+ */
+std::vector<Finding> lintContent(const std::string &path,
+                                 const std::string &content,
+                                 const Options &options,
+                                 int *suppressions = nullptr);
+
+/** Machine-readable report (stable JSON, findings + totals). */
+std::string toJson(const Report &report);
+
+} // namespace litmus::lint
+
+#endif // LITMUS_TOOLS_LINT_LINT_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * litmus_lint CLI: scan the tree, print findings, emit the JSON
+ * report, exit nonzero when the tree is dirty.
+ *
+ *     litmus_lint [--root=DIR] [--json=FILE] [--rule=NAME]...
+ *                 [--list-rules] [--quiet] [DIR]...
+ *
+ * Positional DIRs (relative to the root) override the default scan
+ * set {src, apps, bench, tools}. Exit codes: 0 clean, 1 findings,
+ * 2 usage or I/O error.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "lint.h"
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: litmus_lint [--root=DIR] [--json=FILE] "
+           "[--rule=NAME]... [--list-rules] [--quiet] [DIR]...\n"
+           "Enforces the project invariants over the code tree;\n"
+           "run --list-rules for the rule catalog.\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace litmus::lint;
+
+    Options options;
+    std::string jsonPath;
+    bool quiet = false;
+    std::vector<std::string> dirs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&arg](const char *flag) {
+            return arg.substr(std::strlen(flag));
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (arg == "--list-rules") {
+            for (const RuleInfo &rule : ruleCatalog())
+                std::cout << rule.name << "\n    " << rule.description
+                          << "\n";
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            options.root = valueOf("--root=");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = valueOf("--json=");
+        } else if (arg.rfind("--rule=", 0) == 0) {
+            options.rules.push_back(valueOf("--rule="));
+        } else if (arg.rfind("-", 0) == 0) {
+            std::cerr << "litmus_lint: unknown flag '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (!dirs.empty())
+        options.dirs = dirs;
+
+    Report report;
+    try {
+        report = runLint(options);
+    } catch (const std::exception &error) {
+        std::cerr << "litmus_lint: " << error.what() << "\n";
+        return 2;
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::cerr << "litmus_lint: cannot write '" << jsonPath
+                      << "'\n";
+            return 2;
+        }
+        out << toJson(report);
+    }
+
+    if (!quiet) {
+        for (const Finding &finding : report.findings)
+            std::cout << finding.file << ":" << finding.line << ": ["
+                      << finding.rule << "] " << finding.message
+                      << "\n";
+        std::cout << "litmus_lint: " << report.filesScanned
+                  << " files, " << report.findings.size()
+                  << " finding(s), " << report.suppressions
+                  << " suppression(s)\n";
+    }
+    return report.clean() ? 0 : 1;
+}
