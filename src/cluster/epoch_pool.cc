@@ -17,7 +17,7 @@ EpochPool::EpochPool(unsigned threads) : threads_(threads)
 EpochPool::~EpochPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         stop_ = true;
     }
     workReady_.notify_all();
@@ -29,6 +29,9 @@ void
 EpochPool::drain(Batch &batch)
 {
     for (;;) {
+        // relaxed: the counter only hands out disjoint indices; the
+        // jobs vector itself was published by the mutex (workerLoop's
+        // acquire of batch_) or written by this thread (the caller).
         const std::size_t i =
             batch.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch.total)
@@ -37,8 +40,15 @@ EpochPool::drain(Batch &batch)
         // returns (and the caller's vector only dies) after pending
         // reaches zero, which needs this job to finish first.
         (*batch.jobs)[i]();
-        if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lock(mutex_);
+        // release: the job's writes must be visible to whoever
+        // observes this decrement. Acquire is not needed here — no
+        // thread reads other jobs' results at this point; the barrier
+        // read in run() carries the acquire. The RMW keeps this
+        // decrement in the release sequence of every earlier one, so
+        // run()'s single acquire load of 0 synchronizes with all of
+        // them.
+        if (batch.pending.fetch_sub(1, std::memory_order_release) == 1) {
+            MutexLock lock(&mutex_);
             batchDone_.notify_all();
         }
     }
@@ -58,9 +68,11 @@ EpochPool::run(const std::vector<std::function<void()>> &jobs)
     auto batch = std::make_shared<Batch>();
     batch->jobs = &jobs;
     batch->total = jobs.size();
+    // relaxed: the batch is published to workers by the mutex_
+    // release below; no worker can load pending before that acquire.
     batch->pending.store(jobs.size(), std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         batch_ = batch;
         ++generation_;
     }
@@ -70,10 +82,12 @@ EpochPool::run(const std::vector<std::function<void()>> &jobs)
     // so a pool of N threads uses N CPUs, not N - 1.
     drain(*batch);
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    batchDone_.wait(lock, [&batch] {
-        return batch->pending.load(std::memory_order_acquire) == 0;
-    });
+    // acquire: pairs with every worker's release decrement — seeing
+    // pending == 0 makes all job writes visible to the caller, which
+    // reads the jobs' results the moment run() returns.
+    UniqueLock lock(&mutex_);
+    while (batch->pending.load(std::memory_order_acquire) != 0)
+        batchDone_.wait(lock.native());
     batch_ = nullptr;
 }
 
@@ -84,10 +98,9 @@ EpochPool::workerLoop()
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workReady_.wait(lock, [this, seen] {
-                return stop_ || generation_ != seen;
-            });
+            UniqueLock lock(&mutex_);
+            while (!stop_ && generation_ == seen)
+                workReady_.wait(lock.native());
             if (stop_)
                 return;
             seen = generation_;

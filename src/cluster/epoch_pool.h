@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace litmus::cluster
 {
@@ -55,6 +56,20 @@ class EpochPool
      * One barrier's worth of work. Claim counters live here, not on
      * the pool, so a worker that oversleeps an epoch can only claim
      * from the (exhausted) batch it saw — never from a later one.
+     *
+     * Memory-ordering audit (the orderings in epoch_pool.cc are load
+     * -bearing; see the comments at each operation):
+     *  - `jobs`/`total` are plain: written before the batch is
+     *    published under mutex_, read only by threads that observed
+     *    that publication (mutex acquire) or created the batch.
+     *  - `next` uses relaxed RMWs: it only distributes disjoint
+     *    indices; no job data is transferred through it.
+     *  - `pending` is the handoff: every decrement is a release (the
+     *    finished job's writes sit before it), and the barrier's
+     *    "all done" load is an acquire. The RMW chain keeps each
+     *    decrement in the release sequence headed by every earlier
+     *    one, so a single acquire load that sees 0 synchronizes with
+     *    *all* workers' job writes.
      */
     struct Batch
     {
@@ -70,14 +85,14 @@ class EpochPool
     void workerLoop();
 
     unsigned threads_;
-    std::vector<std::thread> workers_;
+    std::vector<std::thread> workers_; // set in ctor, then immutable
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable batchDone_;
-    std::shared_ptr<Batch> batch_; // guarded by mutex_
-    std::uint64_t generation_ = 0; // guarded by mutex_
-    bool stop_ = false;            // guarded by mutex_
+    std::shared_ptr<Batch> batch_ LITMUS_GUARDED_BY(mutex_);
+    std::uint64_t generation_ LITMUS_GUARDED_BY(mutex_) = 0;
+    bool stop_ LITMUS_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace litmus::cluster

@@ -33,7 +33,7 @@ ProfileStore::getOrCalibrate(
     std::shared_future<ProfilePtr> future;
     bool owner = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         const auto it = profiles_.find(key);
         if (it != profiles_.end()) {
             future = it->second;
@@ -58,7 +58,7 @@ ProfileStore::getOrCalibrate(
         return profile;
     } catch (...) {
         promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         profiles_.erase(key);
         throw;
     }
@@ -70,7 +70,7 @@ ProfileStore::put(const std::string &key, CalibrationProfile profile)
     std::promise<ProfilePtr> ready;
     ready.set_value(
         std::make_shared<const CalibrationProfile>(std::move(profile)));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     profiles_[key] = ready.get_future().share();
 }
 
@@ -79,7 +79,7 @@ ProfileStore::find(const std::string &key) const
 {
     std::shared_future<ProfilePtr> future;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         const auto it = profiles_.find(key);
         if (it == profiles_.end())
             return nullptr;
@@ -96,7 +96,7 @@ ProfileStore::clear()
     // An in-flight calibration holds its own promise; dropping the
     // map only forgets finished or future entries, it cannot leave a
     // waiter dangling (shared_future keeps the state alive).
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     profiles_.clear();
 }
 

@@ -18,9 +18,9 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "core/calibration.h"
 
 namespace litmus::pricing
@@ -62,12 +62,14 @@ class ProfileStore
   private:
     ProfileStore() = default;
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
 
     /** Key -> eventually-ready profile. The shared_future is stored
      *  (not the value) so late arrivals during a calibration block on
-     *  it rather than re-calibrating. */
-    std::map<std::string, std::shared_future<ProfilePtr>> profiles_;
+     *  it rather than re-calibrating; calibrations themselves run
+     *  outside the lock, so mutex_ only ever guards map surgery. */
+    std::map<std::string, std::shared_future<ProfilePtr>> profiles_
+        LITMUS_GUARDED_BY(mutex_);
 };
 
 } // namespace litmus::pricing

@@ -208,6 +208,9 @@ ContentionMemo::makeKey(Key &key,
     }
 }
 
+// Runs unsynchronized by design: the memo is confined to the single
+// EpochPool job advancing its machine (see the class comment), so no
+// lock is taken here and none of the members carry LITMUS_GUARDED_BY.
 const ContentionResult &
 ContentionMemo::solve(const ContentionSolver &solver,
                       const std::vector<SolverInput> &inputs,

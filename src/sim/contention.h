@@ -162,6 +162,14 @@ class ContentionSolver
  * The memo watches its own hit rate and permanently bypasses itself
  * when, after a warm-up, hits stay under ~20% of lookups; the bypass
  * only changes *where* the solve runs, never its result.
+ *
+ * Concurrency discipline: the memo is deliberately unsynchronized —
+ * no mutex, no capability annotation. Each Machine owns exactly one
+ * memo, each machine is advanced by exactly one EpochPool job per
+ * epoch, and the pool's barrier (see cluster/epoch_pool.h) orders one
+ * epoch's accesses before the next. The memo is thread-*confined*,
+ * not thread-safe; sharing one instance across concurrently-advancing
+ * machines would be a data race.
  */
 class ContentionMemo
 {

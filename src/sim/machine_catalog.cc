@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "common/config_reader.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace litmus::sim
 {
@@ -73,20 +73,26 @@ icelake4314()
 
 struct Registry
 {
-    std::mutex mutex;
+    Mutex mutex;
 
     /** Canonical name -> preset. */
-    std::map<std::string, MachineConfig> presets;
+    std::map<std::string, MachineConfig> presets
+        LITMUS_GUARDED_BY(mutex);
 
     /** Alias -> canonical name. Indirect, so replacing a preset
      *  updates its aliases too. */
-    std::map<std::string, std::string> aliases;
+    std::map<std::string, std::string> aliases
+        LITMUS_GUARDED_BY(mutex);
 
     /** Canonical names, in registration order. */
-    std::vector<std::string> canonical;
+    std::vector<std::string> canonical LITMUS_GUARDED_BY(mutex);
 
     Registry()
     {
+        // Construction is single-threaded (function-local static),
+        // but add() requires the capability, so take it — uncontended
+        // and it keeps the annotations suppression-free.
+        MutexLock lock(&mutex);
         add(cascade5218(), {"cascadelake", "xeon-gold-5218"});
         add(cascade5218Dual(), {"xeon-gold-5218-dual"});
         add(icelake4314(), {"icelake", "xeon-silver-4314"});
@@ -94,6 +100,7 @@ struct Registry
 
     /** Resolve canonical-or-alias; nullptr when unknown. */
     const MachineConfig *lookup(const std::string &name) const
+        LITMUS_REQUIRES(mutex)
     {
         auto it = presets.find(name);
         if (it == presets.end()) {
@@ -105,10 +112,10 @@ struct Registry
         return it == presets.end() ? nullptr : &it->second;
     }
 
-    /** Register under cfg.name + aliases (caller holds no lock during
-     *  construction; runtime callers lock). */
+    /** Register under cfg.name + aliases. */
     void add(const MachineConfig &cfg,
              const std::vector<std::string> &alias_names)
+        LITMUS_REQUIRES(mutex)
     {
         cfg.validate();
         requireToken(cfg.name);
@@ -146,7 +153,7 @@ MachineConfig
 MachineCatalog::get(const std::string &name)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(&reg.mutex);
     const MachineConfig *preset = reg.lookup(name);
     if (!preset) {
         std::ostringstream known;
@@ -162,7 +169,7 @@ bool
 MachineCatalog::has(const std::string &name)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(&reg.mutex);
     return reg.lookup(name) != nullptr;
 }
 
@@ -171,7 +178,7 @@ MachineCatalog::registerPreset(const MachineConfig &cfg,
                                const std::vector<std::string> &aliases)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(&reg.mutex);
     reg.add(cfg, aliases);
 }
 
@@ -201,7 +208,7 @@ std::vector<std::string>
 MachineCatalog::names()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(&reg.mutex);
     std::vector<std::string> out = reg.canonical;
     std::sort(out.begin(), out.end());
     return out;

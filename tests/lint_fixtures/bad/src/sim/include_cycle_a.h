@@ -1,0 +1,7 @@
+// Fixture: include-graph — this header and include_cycle_b.h
+#include "sim/include_cycle_b.h"
+
+struct CycleA
+{
+    CycleB *peer = nullptr;
+};

@@ -1,0 +1,7 @@
+// Fixture: include-graph — this header and include_cycle_a.h
+#include "sim/include_cycle_a.h"
+
+struct CycleB
+{
+    CycleA *peer = nullptr;
+};

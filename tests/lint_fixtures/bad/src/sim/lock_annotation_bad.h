@@ -1,0 +1,26 @@
+// Fixture: lock-annotation — a raw std::mutex member, and a member
+// touched under a lock without the matching annotation.
+#include <mutex>
+
+#include "common/mutex.h"
+
+class RawCounter
+{
+  private:
+    std::mutex legacy_mu_;
+    long hits_ = 0;
+};
+
+class HalfGuarded
+{
+  public:
+    void bump()
+    {
+        MutexLock lock(&mutex_);
+        ++counter_;
+    }
+
+  private:
+    Mutex mutex_;
+    long counter_ = 0;
+};

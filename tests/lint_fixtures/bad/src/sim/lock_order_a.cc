@@ -1,0 +1,12 @@
+// Fixture: nests beta_mu_ under alpha_mu_; lock_order_b.cc nests the
+// other way around — together they cycle.
+#include "sim/lock_order_pair.h"
+
+void
+OrderPair::touchBoth()
+{
+    MutexLock alpha(&alpha_mu_);
+    ++alpha_;
+    MutexLock beta(&beta_mu_);
+    ++beta_;
+}

@@ -1,0 +1,12 @@
+// Fixture: the reverse nesting of lock_order_a.cc — the cycle's
+// other half.
+#include "sim/lock_order_pair.h"
+
+void
+OrderPair::reverse()
+{
+    MutexLock beta(&beta_mu_);
+    ++beta_;
+    MutexLock alpha(&alpha_mu_);
+    ++alpha_;
+}

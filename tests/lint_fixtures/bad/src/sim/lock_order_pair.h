@@ -1,0 +1,17 @@
+// Fixture: two capability members; the canonical order is alpha_mu_
+// before beta_mu_. The .cc fixtures nest them.
+#include "common/mutex.h"
+
+class OrderPair
+{
+  public:
+    void touchBoth();
+    void touchAlpha();
+    void reverse();
+
+  private:
+    Mutex alpha_mu_;
+    long alpha_ LITMUS_GUARDED_BY(alpha_mu_) = 0;
+    Mutex beta_mu_;
+    long beta_ LITMUS_GUARDED_BY(beta_mu_) = 0;
+};

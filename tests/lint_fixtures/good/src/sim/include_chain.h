@@ -1,0 +1,8 @@
+// Fixture: a resolved project include that is genuinely used — no
+// cycle, and no unused-include advisory.
+#include "sim/lock_order_pair.h"
+
+struct ChainUser
+{
+    OrderPair *pair = nullptr;
+};

@@ -1,0 +1,21 @@
+// Fixture: the discipline done right — annotated guarded member,
+// exempt atomic, lock taken through the capability wrapper.
+#include <atomic>
+
+#include "common/mutex.h"
+
+class FullyGuarded
+{
+  public:
+    void bump()
+    {
+        MutexLock lock(&mutex_);
+        ++counter_;
+        ready_.store(true);
+    }
+
+  private:
+    Mutex mutex_;
+    long counter_ LITMUS_GUARDED_BY(mutex_) = 0;
+    std::atomic<bool> ready_{false};
+};

@@ -1,0 +1,19 @@
+// Fixture: every multi-lock path nests beta_mu_ under alpha_mu_ —
+// one canonical order, no cycle.
+#include "sim/lock_order_pair.h"
+
+void
+OrderPair::touchBoth()
+{
+    MutexLock alpha(&alpha_mu_);
+    ++alpha_;
+    MutexLock beta(&beta_mu_);
+    ++beta_;
+}
+
+void
+OrderPair::touchAlpha()
+{
+    MutexLock alpha(&alpha_mu_);
+    ++alpha_;
+}

@@ -1,0 +1,16 @@
+// Fixture: two capability members; the canonical order is alpha_mu_
+// before beta_mu_. lock_order_ab.cc keeps that order everywhere.
+#include "common/mutex.h"
+
+class OrderPair
+{
+  public:
+    void touchBoth();
+    void touchAlpha();
+
+  private:
+    Mutex alpha_mu_;
+    long alpha_ LITMUS_GUARDED_BY(alpha_mu_) = 0;
+    Mutex beta_mu_;
+    long beta_ LITMUS_GUARDED_BY(beta_mu_) = 0;
+};

@@ -10,6 +10,10 @@
  *  - lintContent unit tests: pragma mechanics (one pragma suppresses
  *    exactly one finding, bare-line targeting, stale/malformed
  *    pragmas), comment/string stripping, and member-call exemptions.
+ *  - cross-file rule tests: the fixture trees double as miniature
+ *    whole-program scans (lock-annotation, lock-order cycles and the
+ *    canonical-order file, include-graph exports), plus the
+ *    --fix-stale rewriting engine.
  *
  * The fixture root is injected by CMake as LITMUS_LINT_FIXTURE_DIR.
  */
@@ -78,8 +82,14 @@ TEST(LintFixtures, BadTreeFiresEveryRuleAtTheExpectedLocation)
         "src/core/unordered_decl_bad.h:10:unordered-decl",
         "src/core/unordered_iter_bad.cc:10:unordered-iter",
         "src/core/unordered_iter_bad.cc:12:unordered-iter",
+        "src/sim/include_cycle_a.h:2:include-graph",
+        "src/sim/include_cycle_b.h:2:include-graph",
         "src/sim/layering_bad.cc:2:layering",
         "src/sim/layering_bad.cc:3:layering",
+        "src/sim/lock_annotation_bad.h:10:lock-annotation",
+        "src/sim/lock_annotation_bad.h:20:lock-annotation",
+        "src/sim/lock_order_a.cc:10:lock-order",
+        "src/sim/lock_order_b.cc:10:lock-order",
         "src/sim/wall_clock_bad.cc:7:wall-clock",
         "src/sim/wall_clock_bad.cc:9:wall-clock",
         "src/workload/unseeded_rng_bad.cc:7:unseeded-rng",
@@ -87,7 +97,7 @@ TEST(LintFixtures, BadTreeFiresEveryRuleAtTheExpectedLocation)
         "src/workload/unseeded_rng_bad.cc:9:unseeded-rng",
     };
     EXPECT_EQ(triples(report.findings), expected);
-    EXPECT_EQ(report.filesScanned, 9);
+    EXPECT_EQ(report.filesScanned, 15);
     // The iteration fixture ALLOWs its declaration to isolate the
     // iteration rule.
     EXPECT_EQ(report.suppressions, 1);
@@ -97,7 +107,10 @@ TEST(LintFixtures, GoodTreeIsCleanAndEveryPragmaIsUsed)
 {
     const Report report = runLint(fixtureOptions("good"));
     EXPECT_TRUE(report.clean()) << litmus::lint::toJson(report);
-    EXPECT_EQ(report.filesScanned, 9);
+    EXPECT_EQ(report.filesScanned, 13);
+    // The discipline fixtures are clean cross-file too: no unused
+    // includes, and the lock graph orders alpha_mu_ before beta_mu_.
+    EXPECT_TRUE(report.advisories.empty());
     // decl 1 + iter-fixture 2 + stale-allow 1 + bad-allow 1: a stale
     // or malformed pragma in a good file would surface as a finding.
     EXPECT_EQ(report.suppressions, 5);
@@ -308,6 +321,133 @@ TEST(LintLayering, UpwardIncludeNamesBothEnds)
 }
 
 // ---------------------------------------------------------------- //
+// Cross-file rules                                                 //
+// ---------------------------------------------------------------- //
+
+TEST(LintTree, LockOrderCycleNamesBothMutexes)
+{
+    const Report report = runLint(fixtureOptions("bad"));
+    const auto it = std::find_if(
+        report.findings.begin(), report.findings.end(),
+        [](const Finding &f) {
+            return f.rule == "lock-order" &&
+                   f.file == "src/sim/lock_order_a.cc";
+        });
+    ASSERT_NE(it, report.findings.end());
+    EXPECT_NE(it->message.find("alpha_mu_"), std::string::npos);
+    EXPECT_NE(it->message.find("beta_mu_"), std::string::npos);
+}
+
+TEST(LintTree, GoodTreeLockOrderPutsAlphaBeforeBeta)
+{
+    const Report report = runLint(fixtureOptions("good"));
+    const std::string &text = report.lockOrderText;
+    const auto alpha = text.find("OrderPair::alpha_mu_");
+    const auto beta = text.find("OrderPair::beta_mu_");
+    ASSERT_NE(alpha, std::string::npos) << text;
+    ASSERT_NE(beta, std::string::npos) << text;
+    EXPECT_LT(alpha, beta) << text;
+    // The nesting that forced the order is recorded as a comment.
+    EXPECT_NE(
+        text.find("-> src/sim/lock_order_pair.h:OrderPair::beta_mu_"),
+        std::string::npos)
+        << text;
+}
+
+TEST(LintTree, LockOrderFileMismatchIsAFinding)
+{
+    Options options = fixtureOptions("good");
+    options.lockOrderFile = "tools/lint/lock_order.txt";
+    options.lockOrderExpected = "stale content\n";
+    const Report stale = runLint(options);
+    const auto t = triples(stale.findings);
+    EXPECT_NE(std::find(t.begin(), t.end(),
+                        "tools/lint/lock_order.txt:1:lock-order"),
+              t.end());
+
+    // With the derived order as the expected content, the scan is
+    // clean again.
+    options.lockOrderExpected = stale.lockOrderText;
+    EXPECT_TRUE(runLint(options).clean());
+}
+
+TEST(LintTree, IncludeGraphExportsResolvedEdges)
+{
+    const Report report = runLint(fixtureOptions("good"));
+    EXPECT_NE(report.includeGraphJson.find(
+                  "\"from\": \"src/sim/include_chain.h\""),
+              std::string::npos);
+    EXPECT_NE(report.includeGraphJson.find(
+                  "\"to\": \"src/sim/lock_order_pair.h\""),
+              std::string::npos);
+    EXPECT_NE(report.includeGraphDot.find(
+                  "\"src/sim/include_chain.h\" -> "
+                  "\"src/sim/lock_order_pair.h\""),
+              std::string::npos);
+}
+
+TEST(LintTree, TreeRulePragmasBelongToTreeScans)
+{
+    // lintContent neither applies nor stales a cross-file pragma.
+    const auto findings = lintOne(
+        "src/sim/fixture.h",
+        "// LITMUS-LINT-ALLOW(lock-annotation): fixture\n"
+        "std::mutex mu_;\n");
+    EXPECT_TRUE(findings.empty()) << triples(findings)[0];
+
+    // The tree pass applies it...
+    using litmus::lint::SourceFile;
+    const std::vector<SourceFile> suppressed = {
+        {"src/sim/one.h",
+         "class Legacy\n"
+         "{\n"
+         "    // LITMUS-LINT-ALLOW(lock-annotation): audited fixture\n"
+         "    std::mutex mu_;\n"
+         "};\n"}};
+    const Report ok = litmus::lint::lintFiles(suppressed, Options{});
+    EXPECT_TRUE(ok.clean()) << litmus::lint::toJson(ok);
+    EXPECT_EQ(ok.suppressions, 1);
+
+    // ...and stales it when it suppresses nothing.
+    const std::vector<SourceFile> unused = {
+        {"src/sim/one.h",
+         "// LITMUS-LINT-ALLOW(lock-order): nothing here\n"
+         "int x = 0;\n"}};
+    const Report stale = litmus::lint::lintFiles(unused, Options{});
+    EXPECT_EQ(triples(stale.findings),
+              (std::vector<std::string>{
+                  "src/sim/one.h:1:stale-allow"}));
+}
+
+// ---------------------------------------------------------------- //
+// --fix-stale engine                                               //
+// ---------------------------------------------------------------- //
+
+TEST(LintFixStale, StripsBareAndTrailingPragmasIdempotently)
+{
+    const std::string content =
+        "// LITMUS-LINT-ALLOW(wall-clock): stale bare line\n"
+        "double x = 1.0; // LITMUS-LINT-ALLOW(float-billing): bill\n"
+        "double y = 2.0;\n";
+    const std::string fixed =
+        litmus::lint::stripStalePragmas(content, {1, 2});
+    EXPECT_EQ(fixed, "double x = 1.0;\ndouble y = 2.0;\n");
+    // Idempotent: stripping the result again is a no-op...
+    EXPECT_EQ(litmus::lint::stripStalePragmas(fixed, {1, 2}), fixed);
+    // ...and the fix leaves nothing for the linter to stale.
+    EXPECT_TRUE(lintOne("src/sim/fixture.cc", fixed).empty());
+}
+
+TEST(LintFixStale, LinesWithoutPragmasAreLeftAlone)
+{
+    const std::string content =
+        "double x = 1.0;\n"
+        "double y = 2.0; // a plain comment stays\n";
+    EXPECT_EQ(litmus::lint::stripStalePragmas(content, {1, 2}),
+              content);
+}
+
+// ---------------------------------------------------------------- //
 // Report plumbing                                                  //
 // ---------------------------------------------------------------- //
 
@@ -315,8 +455,8 @@ TEST(LintReport, JsonCarriesTotalsAndEscapes)
 {
     const Report report = runLint(fixtureOptions("bad"));
     const std::string json = litmus::lint::toJson(report);
-    EXPECT_NE(json.find("\"files_scanned\": 9"), std::string::npos);
-    EXPECT_NE(json.find("\"finding_count\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"finding_count\": 23"), std::string::npos);
     EXPECT_NE(json.find("\"suppressions\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"wall-clock\""),
               std::string::npos);
@@ -328,7 +468,7 @@ TEST(LintReport, JsonCarriesTotalsAndEscapes)
 TEST(LintReport, CatalogAndKnownRuleAgree)
 {
     const auto &rules = litmus::lint::ruleCatalog();
-    ASSERT_EQ(rules.size(), 9u);
+    ASSERT_EQ(rules.size(), 12u);
     for (const auto &rule : rules) {
         EXPECT_TRUE(litmus::lint::knownRule(rule.name));
         EXPECT_FALSE(rule.description.empty());

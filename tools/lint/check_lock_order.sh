@@ -1,0 +1,25 @@
+#!/bin/sh
+# Verify the checked-in canonical lock order (and the rest of the lint
+# rules) before committing. Wire it up once per clone:
+#
+#     ln -s ../../tools/lint/check_lock_order.sh .git/hooks/pre-commit
+#
+# Builds only the dependency-free linter, so the hook stays fast even
+# when the simulator build is cold. If the lock graph changed on
+# purpose, refresh the file and stage it:
+#
+#     ./build/tools/litmus_lint --root=. \
+#         --lock-order=tools/lint/lock_order.txt --update-lock-order
+#     git add tools/lint/lock_order.txt
+set -eu
+
+root="$(git rev-parse --show-toplevel)"
+cd "$root"
+
+if [ ! -x build/tools/litmus_lint ]; then
+    cmake -B build -S . >/dev/null
+fi
+cmake --build build --target litmus_lint -j"$(nproc)" >/dev/null
+
+exec ./build/tools/litmus_lint --root=. --quiet \
+    --lock-order=tools/lint/lock_order.txt

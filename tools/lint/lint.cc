@@ -1,19 +1,30 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <optional>
-#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "lint_util.h"
+#include "tree_analysis.h"
 
 namespace fs = std::filesystem;
 
 namespace litmus::lint
 {
+
+using detail::collectPragmas;
+using detail::findToken;
+using detail::isIdentChar;
+using detail::kAllowMarker;
+using detail::lineOfOffset;
+using detail::memberQualified;
+using detail::Pragma;
+using detail::skipSpace;
+using detail::splitLines;
+using detail::stripCommentsAndStrings;
 
 namespace
 {
@@ -31,6 +42,9 @@ constexpr const char *kRawParse = "raw-parse";
 constexpr const char *kFloatBilling = "float-billing";
 constexpr const char *kStaleAllow = "stale-allow";
 constexpr const char *kBadAllow = "bad-allow";
+constexpr const char *kLockAnnotation = "lock-annotation";
+constexpr const char *kLockOrder = "lock-order";
+constexpr const char *kIncludeGraph = "include-graph";
 
 const std::vector<RuleInfo> &
 catalog()
@@ -63,170 +77,27 @@ catalog()
          "conservation"},
         {kStaleAllow,
          "LITMUS-LINT-ALLOW pragma that suppressed nothing — stale "
-         "annotations rot into misdocumentation; remove it"},
+         "annotations rot into misdocumentation; remove it (or run "
+         "litmus_lint --fix-stale)"},
         {kBadAllow,
          "malformed LITMUS-LINT-ALLOW pragma (unknown rule, missing "
          "reason, or bad syntax)"},
+        {kLockAnnotation,
+         "cross-file: raw std::mutex/std::shared_mutex member in src/ "
+         "(use litmus::Mutex so the lock is a visible capability), or "
+         "a member touched under a lock scope that is not "
+         "LITMUS_GUARDED_BY that mutex"},
+        {kLockOrder,
+         "cross-file: nested lock acquisitions whose order forms a "
+         "cycle across the tree, or a canonical lock-order file "
+         "(tools/lint/lock_order.txt) that no longer matches the "
+         "code — refresh with --update-lock-order"},
+        {kIncludeGraph,
+         "cross-file: circular #include chain among project headers; "
+         "the full include DAG is exported with --include-graph, and "
+         "unused project includes are reported as advisories"},
     };
     return rules;
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/**
- * Blank out comments and string/char literals, preserving length and
- * newlines so offsets and line numbers in the stripped buffer match
- * the raw file. Rules then scan real code only; banned tokens inside
- * comments or log strings never fire.
- */
-std::string
-stripCommentsAndStrings(const std::string &raw)
-{
-    std::string out(raw);
-    enum class State
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-    };
-    State state = State::Code;
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-        const char c = raw[i];
-        const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-        switch (state) {
-        case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                out[i] = ' ';
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                out[i] = ' ';
-            } else if (c == '"') {
-                state = State::String;
-            } else if (c == '\'') {
-                state = State::Char;
-            }
-            break;
-        case State::LineComment:
-            if (c == '\n')
-                state = State::Code;
-            else
-                out[i] = ' ';
-            break;
-        case State::BlockComment:
-            if (c == '*' && next == '/') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-                state = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case State::String:
-        case State::Char: {
-            const char quote = state == State::String ? '"' : '\'';
-            if (c == '\\' && next != '\0') {
-                out[i] = ' ';
-                if (next != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == quote) {
-                state = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-        }
-    }
-    return out;
-}
-
-/** Split into lines (index 0 = line 1), keeping empty lines. */
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string::size_type start = 0;
-    while (start <= text.size()) {
-        const auto nl = text.find('\n', start);
-        if (nl == std::string::npos) {
-            lines.push_back(text.substr(start));
-            break;
-        }
-        lines.push_back(text.substr(start, nl - start));
-        start = nl + 1;
-    }
-    return lines;
-}
-
-int
-lineOfOffset(const std::string &text, std::size_t offset)
-{
-    return 1 + static_cast<int>(
-                   std::count(text.begin(), text.begin() + offset, '\n'));
-}
-
-/**
- * Find the next occurrence of @p token as a whole identifier at or
- * after @p from; npos when absent.
- */
-std::size_t
-findToken(const std::string &code, const std::string &token,
-          std::size_t from)
-{
-    std::size_t pos = code.find(token, from);
-    while (pos != std::string::npos) {
-        const bool beginOk = pos == 0 || !isIdentChar(code[pos - 1]);
-        const std::size_t end = pos + token.size();
-        const bool endOk = end >= code.size() || !isIdentChar(code[end]);
-        if (beginOk && endOk)
-            return pos;
-        pos = code.find(token, pos + 1);
-    }
-    return std::string::npos;
-}
-
-std::size_t
-skipSpace(const std::string &code, std::size_t pos)
-{
-    while (pos < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[pos])))
-        ++pos;
-    return pos;
-}
-
-/** True when the identifier ending just before @p pos is qualified by
- *  `.`, `->`, or a non-std `::` — i.e. a member or foreign name. */
-bool
-memberQualified(const std::string &code, std::size_t pos)
-{
-    std::size_t i = pos;
-    while (i > 0 &&
-           std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
-    if (i == 0)
-        return false;
-    if (code[i - 1] == '.')
-        return true;
-    if (i >= 2 && code[i - 2] == '-' && code[i - 1] == '>')
-        return true;
-    if (i >= 2 && code[i - 2] == ':' && code[i - 1] == ':') {
-        // std::time / std::clock are still the banned libc calls.
-        std::size_t q = i - 2;
-        std::size_t end = q;
-        while (q > 0 && isIdentChar(code[q - 1]))
-            --q;
-        return code.compare(q, end - q, "std") != 0;
-    }
-    return false;
 }
 
 // ---------------------------------------------------------------- //
@@ -284,92 +155,6 @@ isBillingFile(const std::string &basename)
             return true;
     }
     return false;
-}
-
-// ---------------------------------------------------------------- //
-// Suppression pragmas                                              //
-// ---------------------------------------------------------------- //
-
-struct Pragma
-{
-    int targetLine = 0; ///< line whose findings it may suppress
-    int pragmaLine = 0; ///< where the pragma itself sits
-    std::string rule;
-    bool used = false;
-};
-
-constexpr const char *kAllowMarker = "LITMUS-LINT-ALLOW";
-
-/**
- * Parse the pragmas in @p raw. A pragma on a line with code guards
- * that line; a pragma alone on its line guards the next line.
- * Malformed pragmas become findings immediately.
- */
-std::vector<Pragma>
-collectPragmas(const std::string &path,
-               const std::vector<std::string> &rawLines,
-               const std::vector<std::string> &strippedLines,
-               std::vector<Finding> &findings)
-{
-    std::vector<Pragma> pragmas;
-    for (std::size_t i = 0; i < rawLines.size(); ++i) {
-        const std::string &line = rawLines[i];
-        const int lineNo = static_cast<int>(i) + 1;
-        std::size_t pos = line.find(kAllowMarker);
-        while (pos != std::string::npos) {
-            const std::size_t after = pos + std::string(kAllowMarker).size();
-            const auto bad = [&](const std::string &why) {
-                findings.push_back(
-                    {path, lineNo, kBadAllow,
-                     "malformed " + std::string(kAllowMarker) +
-                         " pragma: " + why +
-                         " — expected // LITMUS-LINT-ALLOW(rule): "
-                         "reason"});
-            };
-            if (after >= line.size() || line[after] != '(') {
-                bad("missing '(rule)'");
-                break;
-            }
-            const auto close = line.find(')', after);
-            if (close == std::string::npos) {
-                bad("unterminated '(rule'");
-                break;
-            }
-            const std::string rule =
-                line.substr(after + 1, close - after - 1);
-            if (!knownRule(rule)) {
-                bad("unknown rule '" + rule + "'");
-                break;
-            }
-            std::size_t rest = close + 1;
-            if (rest >= line.size() || line[rest] != ':') {
-                bad("missing ': reason'");
-                break;
-            }
-            ++rest;
-            while (rest < line.size() &&
-                   std::isspace(static_cast<unsigned char>(line[rest])))
-                ++rest;
-            if (rest >= line.size()) {
-                bad("empty reason — the reason is the audit record");
-                break;
-            }
-            Pragma pragma;
-            pragma.pragmaLine = lineNo;
-            pragma.rule = rule;
-            // Alone on the line (no code survives stripping): guards
-            // the next line. Otherwise guards its own line.
-            const std::string &code = strippedLines[i];
-            const bool bare =
-                std::all_of(code.begin(), code.end(), [](char c) {
-                    return std::isspace(static_cast<unsigned char>(c));
-                });
-            pragma.targetLine = bare ? lineNo + 1 : lineNo;
-            pragmas.push_back(pragma);
-            pos = line.find(kAllowMarker, close);
-        }
-    }
-    return pragmas;
 }
 
 // ---------------------------------------------------------------- //
@@ -648,47 +433,30 @@ checkLayering(const std::string &path, const FileClass &fc,
 {
     static const std::vector<std::string> layerNames = {
         "common", "sim", "workload", "core", "cluster", "scenario"};
-    for (std::size_t i = 0; i < rawLines.size(); ++i) {
-        const std::string &line = rawLines[i];
-        const std::size_t hash = line.find_first_not_of(" \t");
-        if (hash == std::string::npos || line[hash] != '#')
-            continue;
-        std::size_t p = skipSpace(line, hash + 1);
-        if (line.compare(p, 7, "include") != 0)
-            continue;
-        p = skipSpace(line, p + 7);
-        if (p >= line.size() || line[p] != '"')
-            continue;
-        const std::size_t close = line.find('"', p + 1);
-        if (close == std::string::npos)
-            continue;
-        const std::string target = line.substr(p + 1, close - p - 1);
-        const int lineNo = static_cast<int>(i) + 1;
-
-        if (fc.inSrc) {
-            for (const char *outside :
-                 {"apps/", "bench/", "tools/", "tests/"}) {
-                if (target.rfind(outside, 0) == 0) {
-                    findings.push_back(
-                        {path, lineNo, kLayering,
-                         "src/ must not include " +
-                             std::string(outside) +
-                             " — the library cannot depend on its "
-                             "consumers"});
-                }
+    if (!fc.inSrc)
+        return;
+    for (const detail::IncludeLine &inc : detail::parseIncludes(rawLines)) {
+        for (const char *outside :
+             {"apps/", "bench/", "tools/", "tests/"}) {
+            if (inc.target.rfind(outside, 0) == 0) {
+                findings.push_back(
+                    {path, inc.line, kLayering,
+                     "src/ must not include " + std::string(outside) +
+                         " — the library cannot depend on its "
+                         "consumers"});
             }
-            const auto slash = target.find('/');
-            if (slash != std::string::npos && fc.layer >= 0) {
-                const int targetLayer =
-                    layerRank(target.substr(0, slash));
-                if (targetLayer > fc.layer) {
-                    findings.push_back(
-                        {path, lineNo, kLayering,
-                         "upward include: " + layerNames[fc.layer] +
-                             "/ must not include " + target +
-                             " (DAG: common -> sim -> workload -> "
-                             "core -> cluster -> scenario)"});
-                }
+        }
+        const auto slash = inc.target.find('/');
+        if (slash != std::string::npos && fc.layer >= 0) {
+            const int targetLayer =
+                layerRank(inc.target.substr(0, slash));
+            if (targetLayer > fc.layer) {
+                findings.push_back(
+                    {path, inc.line, kLayering,
+                     "upward include: " + layerNames[fc.layer] +
+                         "/ must not include " + inc.target +
+                         " (DAG: common -> sim -> workload -> "
+                         "core -> cluster -> scenario)"});
             }
         }
     }
@@ -748,6 +516,19 @@ ruleEnabled(const Options &options, const std::string &rule)
                      rule) != options.rules.end();
 }
 
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- //
@@ -770,6 +551,13 @@ knownRule(const std::string &name)
     return false;
 }
 
+bool
+isTreeRule(const std::string &name)
+{
+    return name == kLockAnnotation || name == kLockOrder ||
+           name == kIncludeGraph;
+}
+
 std::vector<Finding>
 lintContent(const std::string &path, const std::string &content,
             const Options &options, int *suppressions)
@@ -780,8 +568,8 @@ lintContent(const std::string &path, const std::string &content,
     const std::vector<std::string> strippedLines = splitLines(code);
 
     std::vector<Finding> findings;
-    std::vector<Pragma> pragmas =
-        collectPragmas(path, rawLines, strippedLines, findings);
+    std::vector<Pragma> pragmas = collectPragmas(
+        path, rawLines, strippedLines, kBadAllow, findings);
 
     if (ruleEnabled(options, kWallClock))
         checkWallClock(path, code, findings);
@@ -818,6 +606,11 @@ lintContent(const std::string &path, const std::string &content,
             kept.push_back(std::move(finding));
     }
     for (const Pragma &pragma : pragmas) {
+        // Pragmas naming a cross-file rule belong to the tree pass,
+        // which re-collects them and judges staleness itself; a
+        // single-file scan cannot know whether they are used.
+        if (isTreeRule(pragma.rule))
+            continue;
         if (!pragma.used && ruleEnabled(options, pragma.rule)) {
             kept.push_back(
                 {path, pragma.pragmaLine, kStaleAllow,
@@ -838,19 +631,38 @@ lintContent(const std::string &path, const std::string &content,
 }
 
 Report
-runLint(const Options &options)
+lintFiles(const std::vector<SourceFile> &files, const Options &options)
 {
     for (const std::string &rule : options.rules) {
         if (!knownRule(rule))
             throw std::runtime_error("unknown rule '" + rule + "'");
     }
+
+    Report report;
+    for (const SourceFile &file : files) {
+        ++report.filesScanned;
+        std::vector<Finding> findings = lintContent(
+            file.path, file.content, options, &report.suppressions);
+        report.findings.insert(report.findings.end(),
+                               findings.begin(), findings.end());
+    }
+
+    detail::runTreeAnalysis(files, options, report);
+
+    sortFindings(report.findings);
+    sortFindings(report.advisories);
+    return report;
+}
+
+Report
+runLint(const Options &options)
+{
     const fs::path root(options.root);
     if (!fs::is_directory(root))
         throw std::runtime_error("lint root '" + options.root +
                                  "' is not a directory");
 
-    Report report;
-    std::vector<std::string> files;
+    std::vector<std::string> paths;
     for (const std::string &dir : options.dirs) {
         const fs::path base = root / dir;
         if (!fs::is_directory(base))
@@ -871,26 +683,86 @@ runLint(const Options &options)
             // by self-scanning.
             if (rel.rfind("tools/lint/", 0) == 0)
                 continue;
-            files.push_back(rel);
+            paths.push_back(rel);
         }
     }
     // Directory iteration order is filesystem-dependent; the report
     // must not be.
-    std::sort(files.begin(), files.end());
+    std::sort(paths.begin(), paths.end());
 
-    for (const std::string &file : files) {
-        std::ifstream in(root / file, std::ios::binary);
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const std::string &path : paths) {
+        std::ifstream in(root / path, std::ios::binary);
         if (!in)
-            throw std::runtime_error("cannot read '" + file + "'");
+            throw std::runtime_error("cannot read '" + path + "'");
         std::ostringstream buffer;
         buffer << in.rdbuf();
-        ++report.filesScanned;
-        std::vector<Finding> findings = lintContent(
-            file, buffer.str(), options, &report.suppressions);
-        report.findings.insert(report.findings.end(),
-                               findings.begin(), findings.end());
+        files.push_back({path, buffer.str()});
     }
-    return report;
+
+    Options resolved = options;
+    if (!resolved.lockOrderFile.empty() &&
+        resolved.lockOrderExpected.empty()) {
+        std::ifstream in(root / resolved.lockOrderFile,
+                         std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            resolved.lockOrderExpected = buffer.str();
+        }
+        // Unreadable/missing stays empty: the tree pass reports the
+        // mismatch as a lock-order finding rather than aborting.
+    }
+
+    return lintFiles(files, resolved);
+}
+
+std::string
+stripStalePragmas(const std::string &content,
+                  const std::vector<int> &pragmaLines)
+{
+    const std::string code = stripCommentsAndStrings(content);
+    const std::vector<std::string> rawLines = splitLines(content);
+    const std::vector<std::string> strippedLines = splitLines(code);
+
+    std::string out;
+    out.reserve(content.size());
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const int lineNo = static_cast<int>(i) + 1;
+        const std::string &line = rawLines[i];
+        const bool last = i + 1 == rawLines.size();
+        const bool listed =
+            std::find(pragmaLines.begin(), pragmaLines.end(),
+                      lineNo) != pragmaLines.end();
+        const std::size_t marker = line.find(kAllowMarker);
+        if (!listed || marker == std::string::npos) {
+            out += line;
+            if (!last)
+                out += '\n';
+            continue;
+        }
+        // Code on the line (outside comments/strings) means the
+        // pragma is a trailing comment: snip from its `//` to the
+        // end, keeping the code. A bare pragma line is dropped whole.
+        const std::string &codeLine = strippedLines[i];
+        const bool bare =
+            std::all_of(codeLine.begin(), codeLine.end(), [](char c) {
+                return std::isspace(static_cast<unsigned char>(c));
+            });
+        if (bare)
+            continue; // drop the line (and its newline)
+        std::size_t cut = line.rfind("//", marker);
+        if (cut == std::string::npos)
+            cut = marker; // malformed; snip conservatively
+        while (cut > 0 &&
+               (line[cut - 1] == ' ' || line[cut - 1] == '\t'))
+            --cut;
+        out += line.substr(0, cut);
+        if (!last)
+            out += '\n';
+    }
+    return out;
 }
 
 std::string
@@ -919,19 +791,27 @@ toJson(const Report &report)
         }
         return out;
     };
+    const auto list = [&](const std::vector<Finding> &findings,
+                          std::ostringstream &out) {
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const Finding &f = findings[i];
+            out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+                << escape(f.file) << "\", \"line\": " << f.line
+                << ", \"rule\": \"" << escape(f.rule)
+                << "\", \"message\": \"" << escape(f.message) << "\"}";
+        }
+        out << (findings.empty() ? "]" : "\n  ]");
+    };
     std::ostringstream out;
     out << "{\n  \"files_scanned\": " << report.filesScanned
         << ",\n  \"suppressions\": " << report.suppressions
         << ",\n  \"finding_count\": " << report.findings.size()
         << ",\n  \"findings\": [";
-    for (std::size_t i = 0; i < report.findings.size(); ++i) {
-        const Finding &f = report.findings[i];
-        out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
-            << escape(f.file) << "\", \"line\": " << f.line
-            << ", \"rule\": \"" << escape(f.rule)
-            << "\", \"message\": \"" << escape(f.message) << "\"}";
-    }
-    out << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    list(report.findings, out);
+    out << ",\n  \"advisory_count\": " << report.advisories.size()
+        << ",\n  \"advisories\": [";
+    list(report.advisories, out);
+    out << "\n}\n";
     return out.str();
 }
 

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Shared lexical helpers for litmus-lint.
+ *
+ * Both the per-file rules (lint.cc) and the whole-tree pass
+ * (tree_analysis.cc) work on the same representation: the raw file
+ * text plus a comment/string-stripped shadow copy whose offsets and
+ * line numbers match the raw text exactly. The helpers here implement
+ * that stripping, token search, pragma parsing, and #include-line
+ * parsing once, so the two passes can never disagree about what a
+ * line of code says.
+ *
+ * Internal to the linter; not part of the lint.h API.
+ */
+
+#ifndef LITMUS_TOOLS_LINT_LINT_UTIL_H
+#define LITMUS_TOOLS_LINT_LINT_UTIL_H
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace litmus::lint::detail
+{
+
+inline bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Blank out comments and string/char literals, preserving length and
+ * newlines so offsets and line numbers in the stripped buffer match
+ * the raw file. Rules then scan real code only; banned tokens inside
+ * comments or log strings never fire.
+ */
+inline std::string
+stripCommentsAndStrings(const std::string &raw)
+{
+    std::string out(raw);
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char c = raw[i];
+        const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out[i] = ' ';
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out[i] = ' ';
+            } else if (c == '"') {
+                state = State::String;
+            } else if (c == '\'') {
+                state = State::Char;
+            }
+            break;
+        case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case State::String:
+        case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == quote) {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+/** Split into lines (index 0 = line 1), keeping empty lines. */
+inline std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        const auto nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+inline int
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+/**
+ * Find the next occurrence of @p token as a whole identifier at or
+ * after @p from; npos when absent.
+ */
+inline std::size_t
+findToken(const std::string &code, const std::string &token,
+          std::size_t from)
+{
+    std::size_t pos = code.find(token, from);
+    while (pos != std::string::npos) {
+        const bool beginOk = pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool endOk = end >= code.size() || !isIdentChar(code[end]);
+        if (beginOk && endOk)
+            return pos;
+        pos = code.find(token, pos + 1);
+    }
+    return std::string::npos;
+}
+
+inline std::size_t
+skipSpace(const std::string &code, std::size_t pos)
+{
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos])))
+        ++pos;
+    return pos;
+}
+
+/** True when the identifier ending just before @p pos is qualified by
+ *  `.`, `->`, or a non-std `::` — i.e. a member or foreign name. */
+inline bool
+memberQualified(const std::string &code, std::size_t pos)
+{
+    std::size_t i = pos;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i == 0)
+        return false;
+    if (code[i - 1] == '.')
+        return true;
+    if (i >= 2 && code[i - 2] == '-' && code[i - 1] == '>')
+        return true;
+    if (i >= 2 && code[i - 2] == ':' && code[i - 1] == ':') {
+        // std::time / std::clock are still the banned libc calls.
+        std::size_t q = i - 2;
+        std::size_t end = q;
+        while (q > 0 && isIdentChar(code[q - 1]))
+            --q;
+        return code.compare(q, end - q, "std") != 0;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------- //
+// Suppression pragmas                                              //
+// ---------------------------------------------------------------- //
+
+struct Pragma
+{
+    int targetLine = 0; ///< line whose findings it may suppress
+    int pragmaLine = 0; ///< where the pragma itself sits
+    std::string rule;
+    bool used = false;
+};
+
+constexpr const char *kAllowMarker = "LITMUS-LINT-ALLOW";
+
+/**
+ * Parse the pragmas in the raw lines. A pragma on a line with code
+ * guards that line; a pragma alone on its line guards the next line.
+ * Malformed pragmas become findings immediately (rule @p badRule).
+ */
+inline std::vector<Pragma>
+collectPragmas(const std::string &path,
+               const std::vector<std::string> &rawLines,
+               const std::vector<std::string> &strippedLines,
+               const char *badRule, std::vector<Finding> &findings)
+{
+    std::vector<Pragma> pragmas;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string &line = rawLines[i];
+        const int lineNo = static_cast<int>(i) + 1;
+        std::size_t pos = line.find(kAllowMarker);
+        while (pos != std::string::npos) {
+            const std::size_t after = pos + std::string(kAllowMarker).size();
+            const auto bad = [&](const std::string &why) {
+                findings.push_back(
+                    {path, lineNo, badRule,
+                     "malformed " + std::string(kAllowMarker) +
+                         " pragma: " + why +
+                         " — expected // LITMUS-LINT-ALLOW(rule): "
+                         "reason"});
+            };
+            if (after >= line.size() || line[after] != '(') {
+                bad("missing '(rule)'");
+                break;
+            }
+            const auto close = line.find(')', after);
+            if (close == std::string::npos) {
+                bad("unterminated '(rule'");
+                break;
+            }
+            const std::string rule =
+                line.substr(after + 1, close - after - 1);
+            if (!knownRule(rule)) {
+                bad("unknown rule '" + rule + "'");
+                break;
+            }
+            std::size_t rest = close + 1;
+            if (rest >= line.size() || line[rest] != ':') {
+                bad("missing ': reason'");
+                break;
+            }
+            ++rest;
+            while (rest < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[rest])))
+                ++rest;
+            if (rest >= line.size()) {
+                bad("empty reason — the reason is the audit record");
+                break;
+            }
+            Pragma pragma;
+            pragma.pragmaLine = lineNo;
+            pragma.rule = rule;
+            // Alone on the line (no code survives stripping): guards
+            // the next line. Otherwise guards its own line.
+            const std::string &code = strippedLines[i];
+            const bool bare =
+                std::all_of(code.begin(), code.end(), [](char c) {
+                    return std::isspace(static_cast<unsigned char>(c));
+                });
+            pragma.targetLine = bare ? lineNo + 1 : lineNo;
+            pragmas.push_back(pragma);
+            pos = line.find(kAllowMarker, close);
+        }
+    }
+    return pragmas;
+}
+
+// ---------------------------------------------------------------- //
+// #include parsing                                                 //
+// ---------------------------------------------------------------- //
+
+struct IncludeLine
+{
+    std::string target; ///< the quoted path, verbatim
+    int line = 0;       ///< 1-based
+};
+
+/**
+ * The quoted project includes of a file, in order. Angle-bracket
+ * (system) includes are not project edges and are skipped.
+ */
+inline std::vector<IncludeLine>
+parseIncludes(const std::vector<std::string> &rawLines)
+{
+    std::vector<IncludeLine> out;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string &line = rawLines[i];
+        const std::size_t hash = line.find_first_not_of(" \t");
+        if (hash == std::string::npos || line[hash] != '#')
+            continue;
+        std::size_t p = skipSpace(line, hash + 1);
+        if (line.compare(p, 7, "include") != 0)
+            continue;
+        p = skipSpace(line, p + 7);
+        if (p >= line.size() || line[p] != '"')
+            continue;
+        const std::size_t close = line.find('"', p + 1);
+        if (close == std::string::npos)
+            continue;
+        out.push_back({line.substr(p + 1, close - p - 1),
+                       static_cast<int>(i) + 1});
+    }
+    return out;
+}
+
+} // namespace litmus::lint::detail
+
+#endif // LITMUS_TOOLS_LINT_LINT_UTIL_H

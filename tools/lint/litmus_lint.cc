@@ -4,16 +4,33 @@
  * report, exit nonzero when the tree is dirty.
  *
  *     litmus_lint [--root=DIR] [--json=FILE] [--rule=NAME]...
+ *                 [--lock-order=FILE] [--update-lock-order]
+ *                 [--include-graph=FILE] [--include-graph-dot=FILE]
+ *                 [--fix-stale] [--dry-run]
  *                 [--list-rules] [--quiet] [DIR]...
  *
  * Positional DIRs (relative to the root) override the default scan
- * set {src, apps, bench, tools}. Exit codes: 0 clean, 1 findings,
- * 2 usage or I/O error.
+ * set {src, apps, bench, tools}.
+ *
+ *   --lock-order=FILE       root-relative canonical lock-order file;
+ *                           a mismatch with the code is a lock-order
+ *                           finding.
+ *   --update-lock-order     rewrite that file from the code instead
+ *                           of verifying it.
+ *   --include-graph=FILE    write the project include DAG as JSON.
+ *   --include-graph-dot=FILE  same graph in Graphviz dot.
+ *   --fix-stale             delete the pragmas behind stale-allow
+ *                           findings in place (--dry-run: only say
+ *                           what would be removed).
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -26,10 +43,26 @@ int
 usage(std::ostream &out, int code)
 {
     out << "usage: litmus_lint [--root=DIR] [--json=FILE] "
-           "[--rule=NAME]... [--list-rules] [--quiet] [DIR]...\n"
+           "[--rule=NAME]...\n"
+           "                   [--lock-order=FILE] "
+           "[--update-lock-order]\n"
+           "                   [--include-graph=FILE] "
+           "[--include-graph-dot=FILE]\n"
+           "                   [--fix-stale] [--dry-run] "
+           "[--list-rules] [--quiet] [DIR]...\n"
            "Enforces the project invariants over the code tree;\n"
            "run --list-rules for the rule catalog.\n";
     return code;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
 }
 
 } // namespace
@@ -41,6 +74,11 @@ main(int argc, char **argv)
 
     Options options;
     std::string jsonPath;
+    std::string includeGraphPath;
+    std::string includeGraphDotPath;
+    bool updateLockOrder = false;
+    bool fixStale = false;
+    bool dryRun = false;
     bool quiet = false;
     std::vector<std::string> dirs;
 
@@ -58,12 +96,24 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--update-lock-order") {
+            updateLockOrder = true;
+        } else if (arg == "--fix-stale") {
+            fixStale = true;
+        } else if (arg == "--dry-run") {
+            dryRun = true;
         } else if (arg.rfind("--root=", 0) == 0) {
             options.root = valueOf("--root=");
         } else if (arg.rfind("--json=", 0) == 0) {
             jsonPath = valueOf("--json=");
         } else if (arg.rfind("--rule=", 0) == 0) {
             options.rules.push_back(valueOf("--rule="));
+        } else if (arg.rfind("--lock-order=", 0) == 0) {
+            options.lockOrderFile = valueOf("--lock-order=");
+        } else if (arg.rfind("--include-graph=", 0) == 0) {
+            includeGraphPath = valueOf("--include-graph=");
+        } else if (arg.rfind("--include-graph-dot=", 0) == 0) {
+            includeGraphDotPath = valueOf("--include-graph-dot=");
         } else if (arg.rfind("-", 0) == 0) {
             std::cerr << "litmus_lint: unknown flag '" << arg << "'\n";
             return usage(std::cerr, 2);
@@ -73,6 +123,11 @@ main(int argc, char **argv)
     }
     if (!dirs.empty())
         options.dirs = dirs;
+    if (updateLockOrder && options.lockOrderFile.empty()) {
+        std::cerr << "litmus_lint: --update-lock-order needs "
+                     "--lock-order=FILE\n";
+        return usage(std::cerr, 2);
+    }
 
     Report report;
     try {
@@ -82,14 +137,91 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (!jsonPath.empty()) {
-        std::ofstream out(jsonPath);
-        if (!out) {
-            std::cerr << "litmus_lint: cannot write '" << jsonPath
+    // --update-lock-order: the file is being regenerated, so the
+    // mismatch finding against its old content is moot. Genuine
+    // lock-order findings (cycles in the code) remain.
+    if (updateLockOrder) {
+        const std::string path =
+            options.root + "/" + options.lockOrderFile;
+        if (!writeFile(path, report.lockOrderText)) {
+            std::cerr << "litmus_lint: cannot write '" << path
                       << "'\n";
             return 2;
         }
-        out << toJson(report);
+        if (!quiet)
+            std::cout << "litmus_lint: wrote "
+                      << options.lockOrderFile << "\n";
+        std::vector<Finding> kept;
+        for (Finding &finding : report.findings) {
+            if (!(finding.rule == "lock-order" &&
+                  finding.file == options.lockOrderFile))
+                kept.push_back(std::move(finding));
+        }
+        report.findings = std::move(kept);
+    }
+
+    // --fix-stale: rewrite the files behind stale-allow findings and
+    // drop those findings (they are fixed — or would be, under
+    // --dry-run, which only reports).
+    if (fixStale) {
+        std::map<std::string, std::vector<int>> staleByFile;
+        for (const Finding &finding : report.findings) {
+            if (finding.rule == "stale-allow")
+                staleByFile[finding.file].push_back(finding.line);
+        }
+        for (const auto &[file, lines] : staleByFile) {
+            const std::string path = options.root + "/" + file;
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::cerr << "litmus_lint: cannot read '" << path
+                          << "'\n";
+                return 2;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            const std::string fixed =
+                stripStalePragmas(buffer.str(), lines);
+            if (dryRun) {
+                std::cout << "litmus_lint: would remove "
+                          << lines.size() << " stale pragma(s) from "
+                          << file << "\n";
+                continue;
+            }
+            if (!writeFile(path, fixed)) {
+                std::cerr << "litmus_lint: cannot write '" << path
+                          << "'\n";
+                return 2;
+            }
+            if (!quiet)
+                std::cout << "litmus_lint: removed " << lines.size()
+                          << " stale pragma(s) from " << file << "\n";
+        }
+        if (!dryRun) {
+            std::vector<Finding> kept;
+            for (Finding &finding : report.findings) {
+                if (finding.rule != "stale-allow")
+                    kept.push_back(std::move(finding));
+            }
+            report.findings = std::move(kept);
+        }
+    }
+
+    if (!jsonPath.empty() && !writeFile(jsonPath, toJson(report))) {
+        std::cerr << "litmus_lint: cannot write '" << jsonPath
+                  << "'\n";
+        return 2;
+    }
+    if (!includeGraphPath.empty() &&
+        !writeFile(includeGraphPath, report.includeGraphJson)) {
+        std::cerr << "litmus_lint: cannot write '" << includeGraphPath
+                  << "'\n";
+        return 2;
+    }
+    if (!includeGraphDotPath.empty() &&
+        !writeFile(includeGraphDotPath, report.includeGraphDot)) {
+        std::cerr << "litmus_lint: cannot write '"
+                  << includeGraphDotPath << "'\n";
+        return 2;
     }
 
     if (!quiet) {
@@ -97,9 +229,14 @@ main(int argc, char **argv)
             std::cout << finding.file << ":" << finding.line << ": ["
                       << finding.rule << "] " << finding.message
                       << "\n";
+        for (const Finding &advisory : report.advisories)
+            std::cout << advisory.file << ":" << advisory.line
+                      << ": advisory [" << advisory.rule << "] "
+                      << advisory.message << "\n";
         std::cout << "litmus_lint: " << report.filesScanned
                   << " files, " << report.findings.size()
-                  << " finding(s), " << report.suppressions
+                  << " finding(s), " << report.advisories.size()
+                  << " advisory(ies), " << report.suppressions
                   << " suppression(s)\n";
     }
     return report.clean() ? 0 : 1;
