@@ -24,6 +24,7 @@
 
 #include "common/arg_parser.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "scenario/scenario_runner.h"
 #include "sim/machine_catalog.h"
 
@@ -83,6 +84,13 @@ main(int argc, char **argv)
         .addOption("tables-out",
                    "write the active calibration profiles here "
                    "(one file per machine type)",
+                   "")
+        .addOption("faults",
+                   "fault campaign: comma-separated fault.* settings "
+                   "without the prefix, e.g. "
+                   "crash.mtbf=20,retry=backoff,billing=provider "
+                   "(scripted lists use ';' between entries: "
+                   "crash.at=0.5@1;2.0)",
                    "")
         .addSwitch("calibrate",
                    "calibrate every fleet machine type in-process "
@@ -154,6 +162,22 @@ main(int argc, char **argv)
     overlay("threads", "threads");
     overlay("tables", "tables");
     overlay("tables-out", "tables_out");
+    if (args.has("faults")) {
+        // One flag carries the whole campaign: each comma-separated
+        // piece is a fault.* scenario key without the prefix, so
+        // --faults=crash.mtbf=20,retry=drop ==
+        // fault.crash.mtbf=20 + fault.retry=drop. Scripted lists use
+        // ';' between entries because ',' separates pieces here.
+        for (const std::string &piece :
+             splitNonEmpty(args.get("faults"), ',')) {
+            const auto eq = piece.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("litmus-fleet: --faults piece '", piece,
+                      "' is not key=value (e.g. crash.mtbf=20)");
+            spec.set("fault." + piece.substr(0, eq),
+                     piece.substr(eq + 1));
+        }
+    }
     if (args.has("calibrate"))
         spec.calibrate = true;
     if (args.has("exact-quantum"))

@@ -57,6 +57,7 @@ ClusterConfig::validate() const
         fatal("ClusterConfig: drain cap must be positive");
     if (sharingFactor <= 0)
         fatal("ClusterConfig: sharing factor must be positive");
+    faults.validate();
 }
 
 Seconds
@@ -65,6 +66,24 @@ FleetReport::sumMachineBilledSeconds() const
     Seconds sum = 0;
     for (const MachineReport &m : machines)
         sum += m.billedCpuSeconds;
+    return sum;
+}
+
+Seconds
+FleetReport::sumMachineLostSeconds() const
+{
+    Seconds sum = 0;
+    for (const MachineReport &m : machines)
+        sum += m.lostCpuSeconds;
+    return sum;
+}
+
+Seconds
+FleetReport::sumMachineAbsorbedSeconds() const
+{
+    Seconds sum = 0;
+    for (const MachineReport &m : machines)
+        sum += m.absorbedCpuSeconds;
     return sum;
 }
 
@@ -79,7 +98,13 @@ identicalTotals(const FleetReport &a, const FleetReport &b)
            a.billedCpuSeconds == b.billedCpuSeconds &&
            a.commercialUsd == b.commercialUsd &&
            a.litmusUsd == b.litmusUsd &&
-           a.meanLatency == b.meanLatency && a.makespan == b.makespan;
+           a.meanLatency == b.meanLatency && a.makespan == b.makespan &&
+           a.crashes == b.crashes &&
+           a.killedInvocations == b.killedInvocations &&
+           a.retries == b.retries && a.abandoned == b.abandoned &&
+           a.lostCpuSeconds == b.lostCpuSeconds &&
+           a.absorbedCpuSeconds == b.absorbedCpuSeconds &&
+           a.absorbedUsd == b.absorbedUsd;
 }
 
 /**
@@ -95,6 +120,12 @@ struct Cluster::Machine
     {
         const workload::FunctionSpec *spec = nullptr;
         bool warm = false;
+
+        /** Arrival sequence number (deterministic retry ordering). */
+        std::uint64_t seq = 0;
+
+        /** Dispatch attempts already made when this one launched. */
+        unsigned attempt = 0;
     };
 
     /** A completion captured during an epoch, folded in at harvest. */
@@ -167,6 +198,24 @@ struct Cluster::Machine
     std::uint64_t warmStarts = 0;
     std::uint64_t completions = 0;
     double latencySum = 0;
+
+    /** @name Fault lifecycle (barrier-only state) @{ */
+    /** Crashed and not yet restarted: no dispatch, no live work. */
+    bool down = false;
+
+    /** Inside a dispatcher-blindness window: up and serving, but the
+     *  dispatcher cannot route new arrivals here. */
+    bool blind = false;
+
+    /** Current slowdown multiplier (mirrors engine.speedFactor()). */
+    double speedFactor = 1.0;
+
+    std::uint64_t crashes = 0;
+    std::uint64_t killed = 0;
+    Seconds lostCpuSeconds = 0;
+    Seconds absorbedCpuSeconds = 0;
+    double absorbedUsd = 0;
+    /** @} */
 };
 
 Cluster::Cluster(ClusterConfig cfg)
@@ -273,6 +322,8 @@ Cluster::snapshots() const
         snap.committedMemory = m->committedMemory;
         snap.memoryCapacity = m->config.memoryCapacity;
         snap.warmIdle = &m->warmIdle;
+        snap.dispatchable = !m->down && !m->blind;
+        snap.speedFactor = m->speedFactor;
         out.push_back(snap);
     }
     return out;
@@ -294,6 +345,8 @@ Cluster::dispatch(const Invocation &inv,
         Bytes bestFree = 0;
         bool found = false;
         for (const MachineSnapshot &snap : snapshots) {
+            if (!snap.dispatchable)
+                continue;
             const Bytes free =
                 snap.memoryCapacity - snap.committedMemory;
             if (snap.fits(footprint) && free > bestFree) {
@@ -333,7 +386,7 @@ Cluster::dispatch(const Invocation &inv,
 
     sim::Task &handle = m.engine.add(std::move(task));
     m.live.emplace(handle.id(),
-                   Machine::Live{inv.spec, warm});
+                   Machine::Live{inv.spec, warm, inv.seq, inv.attempt});
     m.committedMemory += footprint;
     ++m.dispatched;
     ++report_.dispatched;
@@ -403,6 +456,162 @@ Cluster::harvest(Seconds now)
                     std::min(m.nextWarmExpiry, pool.front());
                 ++it;
             }
+        }
+    }
+}
+
+void
+Cluster::scheduleRetry(const workload::FunctionSpec *spec,
+                       std::uint64_t seq, unsigned attempt, Seconds now)
+{
+    // `attempt` is the 0-based index of the dispatch the crash just
+    // destroyed, so attempt + 1 dispatches have been made in total.
+    const FaultSpec &f = cfg_.faults;
+    bool retry = false;
+    Seconds due = now;
+    switch (f.retry) {
+    case RetryPolicy::Drop:
+        break;
+    case RetryPolicy::RetryOnce:
+        // One immediate re-dispatch: eligible at this very barrier.
+        retry = attempt == 0;
+        break;
+    case RetryPolicy::RetryBackoff:
+        retry = attempt + 1 < f.retryMax;
+        due = now + f.retryBackoff *
+                        static_cast<double>(std::uint64_t{1} << attempt);
+        break;
+    }
+    if (!retry) {
+        ++report_.abandoned;
+        return;
+    }
+    ++report_.retries;
+
+    Invocation inv;
+    inv.spec = spec;
+    inv.arrival = due;
+    inv.seq = seq;
+    inv.attempt = attempt + 1;
+    latestRetry_ = std::max(latestRetry_, due);
+    // Keep the queue sorted by (due, seq): crashes are processed in
+    // (event, machine, task) order and due times are monotone per
+    // invocation, so the serve order is deterministic.
+    const auto pos = std::upper_bound(
+        retryQueue_.begin(), retryQueue_.end(), inv,
+        [](const Invocation &a, const Invocation &b) {
+            if (a.arrival != b.arrival)
+                return a.arrival < b.arrival;
+            return a.seq < b.seq;
+        });
+    retryQueue_.insert(pos, inv);
+}
+
+void
+Cluster::crashMachine(Machine &m, Seconds now)
+{
+    ++m.crashes;
+    ++report_.crashes;
+    m.down = true;
+
+    // Kill the in-flight invocations and account for the destroyed
+    // work. The corpses come back in task-creation order, so loss
+    // accounting and retry queueing are deterministic.
+    for (const auto &task : m.engine.killAllTasks()) {
+        const auto it = m.live.find(task->id());
+        if (it == m.live.end())
+            panic("cluster machine ", m.index,
+                  ": crash killed unknown task ", task->id());
+        const Machine::Live &live = it->second;
+        const sim::TaskCounters counters = task->counters();
+        const Seconds partial =
+            counters.cycles / cfg_.billing.billingFrequency;
+
+        ++m.killed;
+        ++report_.killedInvocations;
+        m.lostCpuSeconds += partial;
+        report_.lostCpuSeconds += partial;
+
+        if (counters.cycles == 0) {
+            // Killed before it ever ran (dispatched this barrier, or
+            // queued behind busy cores): no work was destroyed and
+            // nothing may be billed — a zero-cycle ledger record
+            // would divide 0 by 0 normalizing the Litmus price.
+        } else if (cfg_.faults.billing == FaultBilling::TenantPays) {
+            // Cloud reality: the tenant pays the commercial price for
+            // the cycles the dead invocation burned. No probe ever
+            // completes on a killed invocation, so there is never a
+            // Litmus discount on failure bills.
+            const pricing::PriceQuote quote = pricing::quoteWithEstimate(
+                counters, pricing::DiscountEstimate{});
+            m.ledger.record(
+                workload::languageName(live.spec->language),
+                live.spec->name, counters, quote,
+                live.spec->memoryFootprint);
+            report_.billedCpuSeconds += partial;
+        } else {
+            // The provider eats the loss; mirror the ledger's USD
+            // arithmetic exactly so tenant-pays and provider-absorbs
+            // split one identical total.
+            const double memoryGiB =
+                static_cast<double>(live.spec->memoryFootprint) /
+                (1024.0 * 1024 * 1024);
+            const double usd =
+                partial * memoryGiB * cfg_.billing.usdPerGiBSecond;
+            m.absorbedCpuSeconds += partial;
+            report_.absorbedCpuSeconds += partial;
+            m.absorbedUsd += usd;
+            report_.absorbedUsd += usd;
+        }
+
+        scheduleRetry(live.spec, live.seq, live.attempt, now);
+        m.live.erase(it);
+    }
+    if (!m.live.empty())
+        panic("cluster machine ", m.index,
+              ": live invocations survived a crash");
+
+    // State loss: committed memory and every warm container are gone,
+    // and the expiry tracker resets with them — a fresh minimum is
+    // established as post-restart completions park containers.
+    m.committedMemory = 0;
+    m.warmIdle.clear();
+    m.nextWarmExpiry = std::numeric_limits<double>::infinity();
+}
+
+void
+Cluster::applyFaults(Seconds now)
+{
+    const std::vector<FaultEvent> &events = faultPlan_.events();
+    while (faultCursor_ < events.size() &&
+           events[faultCursor_].at <= now) {
+        const FaultEvent &ev = events[faultCursor_++];
+        Machine &m = *machines_[ev.machine];
+        switch (ev.kind) {
+        case FaultKind::Crash:
+            // Scripted and stochastic windows may overlap on one
+            // machine; a crash while already down merges into the
+            // open outage (the earliest restart revives it).
+            if (!m.down)
+                crashMachine(m, now);
+            break;
+        case FaultKind::Restart:
+            m.down = false;
+            break;
+        case FaultKind::SlowStart:
+            m.speedFactor = ev.factor;
+            m.engine.setSpeedFactor(ev.factor);
+            break;
+        case FaultKind::SlowEnd:
+            m.speedFactor = 1.0;
+            m.engine.setSpeedFactor(1.0);
+            break;
+        case FaultKind::BlindStart:
+            m.blind = true;
+            break;
+        case FaultKind::BlindEnd:
+            m.blind = false;
+            break;
         }
     }
 }
@@ -494,25 +703,53 @@ Cluster::run()
     // arrivals are still due.
     const Seconds lastArrival = trace.back().arrival;
 
+    // Compile the fault campaign into one deterministic schedule over
+    // the trace window (scripted faults may land past it; every crash
+    // carries its restart). The drain deadline extends over pending
+    // fault transitions and queued retries: a fleet waiting out an
+    // outage is making progress, not hanging.
+    faultPlan_ = FaultPlan::compile(cfg_.faults,
+                                    cfg_.totalMachines(), lastArrival,
+                                    cfg_.seed);
+    const std::vector<FaultEvent> &faultEvents = faultPlan_.events();
+    const Seconds lastFault =
+        faultEvents.empty() ? 0 : faultEvents.back().at;
+
     std::size_t next = 0;
     Seconds now = 0;
-    while (next < trace.size() || anyLive()) {
-        if (now > lastArrival + cfg_.drainCap)
+    while (next < trace.size() || !retryQueue_.empty() || anyLive()) {
+        const Seconds drainBase = std::max(
+            lastArrival, std::max(lastFault, latestRetry_));
+        if (now > drainBase + cfg_.drainCap)
             fatal("Cluster::run: fleet failed to drain within ",
                   cfg_.drainCap, " simulated seconds of the last "
                   "arrival");
         // Idle fast-forward: with no live task anywhere, nothing can
-        // complete and no warm pool can grow, so the next arrival is
-        // the only interesting time — run every epoch before it as one
-        // batch (one barrier instead of thousands). The engines still
+        // complete and no warm pool can grow, so the next due event —
+        // arrival, retry, or fault transition — is the only
+        // interesting time: run every epoch before it as one batch
+        // (one barrier instead of thousands). The engines still
         // execute every quantum (cheaply, via their idle replay plan),
         // keep-alive expiry sweeps are monotone in `now`, and the
         // conservative floor means the dispatch boundary itself is
         // reached by normal single-epoch stepping — so totals and
-        // stats stay bit-identical to exact mode.
+        // stats stay bit-identical to exact mode. Work already due
+        // but blocked behind a fleet-wide outage or blindness window
+        // contributes no target; the pending fault transition that
+        // unblocks it does.
         epochsBatch = 1;
-        if (!cfg_.exactQuantum && next < trace.size() && !anyLive()) {
-            const double gap = trace[next].arrival - now;
+        if (!cfg_.exactQuantum && !anyLive()) {
+            const Seconds inf =
+                std::numeric_limits<double>::infinity();
+            Seconds target = inf;
+            if (next < trace.size() && trace[next].arrival > now)
+                target = std::min(target, trace[next].arrival);
+            if (!retryQueue_.empty() &&
+                retryQueue_.front().arrival > now)
+                target = std::min(target, retryQueue_.front().arrival);
+            if (faultCursor_ < faultEvents.size())
+                target = std::min(target, faultEvents[faultCursor_].at);
+            const double gap = target == inf ? 0 : target - now;
             if (gap > epochSpan) {
                 epochsBatch = std::max<std::uint64_t>(
                     1, static_cast<std::uint64_t>(gap / epochSpan));
@@ -523,17 +760,54 @@ Cluster::run()
         // clock is the fleet clock (exact, no re-accumulated drift).
         now = machines_.front()->engine.now();
         harvest(now);
+        // Fault transitions apply at the barrier after their
+        // timestamp — the same granularity as dispatch. Completions
+        // harvested above beat a crash landing at this barrier; a
+        // machine restarting here accepts dispatches immediately.
+        applyFaults(now);
         // Arrivals are dispatched at the first epoch boundary at or
         // after their arrival time (never early), with warm containers
-        // parked by this epoch's completions already visible. One
+        // parked by this epoch's completions already visible. Due
+        // retries interleave with due arrivals in (time, seq) order —
+        // a retry's seq predates every pending arrival's. One
         // snapshot set serves the whole batch (dispatch keeps it
-        // current).
-        if (next < trace.size() && trace[next].arrival <= now) {
+        // current); if no machine is dispatchable, everything due
+        // waits for the barrier that reopens the fleet.
+        const bool anyDue =
+            (next < trace.size() && trace[next].arrival <= now) ||
+            (!retryQueue_.empty() &&
+             retryQueue_.front().arrival <= now);
+        if (anyDue) {
             auto snaps = snapshots();
-            while (next < trace.size() &&
-                   trace[next].arrival <= now) {
-                dispatch(trace[next], snaps);
-                ++next;
+            const bool open =
+                std::any_of(snaps.begin(), snaps.end(),
+                            [](const MachineSnapshot &s) {
+                                return s.dispatchable;
+                            });
+            while (open) {
+                const bool arrivalDue =
+                    next < trace.size() && trace[next].arrival <= now;
+                const bool retryDue =
+                    !retryQueue_.empty() &&
+                    retryQueue_.front().arrival <= now;
+                if (!arrivalDue && !retryDue)
+                    break;
+                bool takeRetry = retryDue;
+                if (arrivalDue && retryDue) {
+                    const Invocation &a = trace[next];
+                    const Invocation &r = retryQueue_.front();
+                    takeRetry = r.arrival < a.arrival ||
+                                (r.arrival == a.arrival &&
+                                 r.seq < a.seq);
+                }
+                if (takeRetry) {
+                    const Invocation inv = retryQueue_.front();
+                    retryQueue_.erase(retryQueue_.begin());
+                    dispatch(inv, snaps);
+                } else {
+                    dispatch(trace[next], snaps);
+                    ++next;
+                }
             }
         }
     }
@@ -562,6 +836,11 @@ Cluster::run()
         mr.meanLatency =
             m.completions > 0 ? m.latencySum / m.completions : 0.0;
         mr.quanta = m.engine.stats().quanta.value();
+        mr.crashes = m.crashes;
+        mr.killedInvocations = m.killed;
+        mr.lostCpuSeconds = m.lostCpuSeconds;
+        mr.absorbedCpuSeconds = m.absorbedCpuSeconds;
+        mr.absorbedUsd = m.absorbedUsd;
         report_.commercialUsd += mr.commercialUsd;
         report_.litmusUsd += mr.litmusUsd;
         report_.machines.push_back(mr);
@@ -593,6 +872,11 @@ Cluster::run()
         tr.billedCpuSeconds += mr.billedCpuSeconds;
         tr.commercialUsd += mr.commercialUsd;
         tr.litmusUsd += mr.litmusUsd;
+        tr.crashes += mr.crashes;
+        tr.killedInvocations += mr.killedInvocations;
+        tr.lostCpuSeconds += mr.lostCpuSeconds;
+        tr.absorbedCpuSeconds += mr.absorbedCpuSeconds;
+        tr.absorbedUsd += mr.absorbedUsd;
     }
 
     ran_ = true;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cluster/dispatcher.h"
+#include "cluster/fault_plan.h"
 #include "cluster/traffic_source.h"
 #include "core/billing.h"
 #include "core/discount_model.h"
@@ -147,6 +148,18 @@ struct ClusterConfig
     pricing::BillingConfig billing;
     /** @} */
 
+    /** @name Fault injection @{ */
+    /**
+     * Declarative fault campaign (crashes, slowdown windows,
+     * dispatcher blindness) compiled into a deterministic schedule at
+     * run(); the default spec disables every fault source and the
+     * fault machinery adds nothing to the serving loop. Faults are
+     * applied at epoch barriers — the same granularity as dispatch —
+     * so fleet totals stay bit-identical at any thread count.
+     */
+    FaultSpec faults;
+    /** @} */
+
     /** Total machines across all groups. */
     unsigned totalMachines() const;
 
@@ -178,6 +191,25 @@ struct MachineReport
 
     /** Quanta the machine's engine executed. */
     double quanta = 0;
+
+    /** @name Failure accounting (fault injection) @{ */
+    /** Crashes this machine suffered. */
+    std::uint64_t crashes = 0;
+
+    /** In-flight invocations killed by those crashes. */
+    std::uint64_t killedInvocations = 0;
+
+    /** On-CPU seconds destroyed by crashes (work lost, regardless of
+     *  who paid for it). */
+    Seconds lostCpuSeconds = 0;
+
+    /** Lost seconds the provider absorbed (never billed); 0 under
+     *  tenant-pays billing. */
+    Seconds absorbedCpuSeconds = 0;
+
+    /** Commercial value of the absorbed work (USD). */
+    double absorbedUsd = 0;
+    /** @} */
 };
 
 /** Per-machine-type slice of the fleet report (revenue/discount
@@ -198,6 +230,14 @@ struct TypeReport
     Seconds billedCpuSeconds = 0;
     double commercialUsd = 0;
     double litmusUsd = 0;
+
+    /** @name Failure accounting (fault injection) @{ */
+    std::uint64_t crashes = 0;
+    std::uint64_t killedInvocations = 0;
+    Seconds lostCpuSeconds = 0;
+    Seconds absorbedCpuSeconds = 0;
+    double absorbedUsd = 0;
+    /** @} */
 
     /** Type discount (1 - litmus/commercial revenue). */
     double discount() const
@@ -239,6 +279,37 @@ struct FleetReport
     /** Simulated time until the fleet drained. */
     Seconds makespan = 0;
 
+    /** @name Failure accounting (fault injection; all zero without a
+     *  fault campaign) @{ */
+    /** Machine crashes applied across the fleet. */
+    std::uint64_t crashes = 0;
+
+    /** In-flight invocations killed by crashes. */
+    std::uint64_t killedInvocations = 0;
+
+    /** Killed invocations re-dispatched by the retry policy. */
+    std::uint64_t retries = 0;
+
+    /** Killed invocations the retry policy gave up on. */
+    std::uint64_t abandoned = 0;
+
+    /**
+     * On-CPU seconds destroyed by crashes. Accumulated independently
+     * of the per-machine slices, like billedCpuSeconds.
+     */
+    Seconds lostCpuSeconds = 0;
+
+    /** Lost seconds the provider absorbed instead of billing. The
+     *  conservation invariant through failures: every cycle any
+     *  engine retired for an invocation is either billed or absorbed
+     *  — billedCpuSeconds + absorbedCpuSeconds covers kept and
+     *  destroyed work alike, under either fault-billing mode. */
+    Seconds absorbedCpuSeconds = 0;
+
+    /** Commercial value of the absorbed work (USD). */
+    double absorbedUsd = 0;
+    /** @} */
+
     /** Aggregate fleet discount (1 - litmus/commercial revenue). */
     double discount() const
     {
@@ -262,6 +333,12 @@ struct FleetReport
 
     /** Sum of per-machine billed seconds (conservation checks). */
     Seconds sumMachineBilledSeconds() const;
+
+    /** Sum of per-machine lost seconds (conservation checks). */
+    Seconds sumMachineLostSeconds() const;
+
+    /** Sum of per-machine absorbed seconds (conservation checks). */
+    Seconds sumMachineAbsorbedSeconds() const;
 };
 
 /**
@@ -319,6 +396,19 @@ class Cluster
     /** Fold one epoch's completions into warm pools and ledgers. */
     void harvest(Seconds now);
 
+    /** Apply every fault transition due at or before @p now. */
+    void applyFaults(Seconds now);
+
+    /** Kill a machine: destroy in-flight work, account the loss,
+     *  queue retries, drop warm containers. */
+    void crashMachine(Machine &m, Seconds now);
+
+    /** Queue a killed invocation for re-dispatch per the retry
+     *  policy (or count it abandoned). */
+    void scheduleRetry(const workload::FunctionSpec *spec,
+                       std::uint64_t seq, unsigned attempt,
+                       Seconds now);
+
     ClusterConfig cfg_;
     std::unique_ptr<Dispatcher> dispatcher_;
     std::vector<std::unique_ptr<Machine>> machines_;
@@ -326,6 +416,19 @@ class Cluster
     FleetReport report_;
     double latencySum_ = 0;
     bool ran_ = false;
+
+    /** @name Fault state (empty/idle without a fault campaign) @{ */
+    /** The compiled schedule; applied through faultCursor_. */
+    FaultPlan faultPlan_;
+    std::size_t faultCursor_ = 0;
+
+    /** Killed invocations awaiting re-dispatch, sorted by
+     *  (due time, seq); Invocation::arrival holds the due time. */
+    std::vector<Invocation> retryQueue_;
+
+    /** Latest retry due time ever queued (drain-cap base). */
+    Seconds latestRetry_ = 0;
+    /** @} */
 };
 
 } // namespace litmus::cluster

@@ -63,18 +63,26 @@ MachineSnapshot::warmIdleFor(const std::string &function) const
 namespace
 {
 
-/** Least live tasks; ties go to the lowest machine index. */
+/** Least live tasks among dispatchable machines; ties go to the
+ *  lowest machine index. */
 unsigned
 leastLoadedIndex(const std::vector<MachineSnapshot> &machines)
 {
     unsigned best = 0;
     unsigned bestLoad = std::numeric_limits<unsigned>::max();
+    bool found = false;
     for (const MachineSnapshot &m : machines) {
+        if (!m.dispatchable)
+            continue;
         if (m.liveTasks < bestLoad) {
             bestLoad = m.liveTasks;
             best = m.index;
+            found = true;
         }
     }
+    if (!found)
+        fatal("dispatcher: no dispatchable machine (the cluster must "
+              "hold arrivals while the whole fleet is down or blind)");
     return best;
 }
 
@@ -89,7 +97,17 @@ class RoundRobinDispatcher final : public Dispatcher
     unsigned pick(const Invocation &,
                   const std::vector<MachineSnapshot> &machines) override
     {
-        return static_cast<unsigned>(next_++ % machines.size());
+        // Rotate, skipping machines that are down or blind. With the
+        // whole fleet dispatchable this degenerates to next_++ % size,
+        // so fault-free runs are untouched.
+        for (std::size_t tried = 0; tried < machines.size(); ++tried) {
+            const auto i =
+                static_cast<std::size_t>(next_++ % machines.size());
+            if (machines[i].dispatchable)
+                return machines[i].index;
+        }
+        fatal("dispatcher: no dispatchable machine (the cluster must "
+              "hold arrivals while the whole fleet is down or blind)");
     }
 
   private:
@@ -129,6 +147,8 @@ class WarmthAwareDispatcher final : public Dispatcher
         unsigned bestLoad = std::numeric_limits<unsigned>::max();
         bool found = false;
         for (const MachineSnapshot &m : machines) {
+            if (!m.dispatchable)
+                continue;
             if (m.warmIdleFor(inv.spec->name) == 0)
                 continue;
             if (m.liveTasks < bestLoad) {
@@ -158,13 +178,21 @@ class CostAwareDispatcher final : public Dispatcher
         // routing is deterministic.
         unsigned best = 0;
         double bestCost = std::numeric_limits<double>::infinity();
+        bool found = false;
         for (const MachineSnapshot &m : machines) {
+            if (!m.dispatchable)
+                continue;
             const double cost = m.predictedCost();
             if (cost < bestCost) {
                 bestCost = cost;
                 best = m.index;
+                found = true;
             }
         }
+        if (!found)
+            fatal("dispatcher: no dispatchable machine (the cluster "
+                  "must hold arrivals while the whole fleet is down "
+                  "or blind)");
         return best;
     }
 };

@@ -63,6 +63,9 @@ struct Invocation
 
     /** Arrival sequence number (stable tie-breaking / tracing). */
     std::uint64_t seq = 0;
+
+    /** Dispatch attempts already made (fault retries; 0 = fresh). */
+    unsigned attempt = 0;
 };
 
 /**
@@ -85,6 +88,16 @@ struct MachineSnapshot
 
     /** Nominal clock (Hz); the cost policy's speed axis. */
     double baseFrequency = 1.0;
+
+    /** False while the machine is down (crashed, not yet restarted)
+     *  or the dispatcher is blind to it — no policy may route there.
+     *  The cluster only calls pick() when at least one machine is
+     *  dispatchable. */
+    bool dispatchable = true;
+
+    /** Current effective-speed multiplier (1 = nominal; <1 inside a
+     *  slowdown window). The cost policy folds it into the clock. */
+    double speedFactor = 1.0;
 
     /** Live (queued or running) tasks on the machine. */
     unsigned liveTasks = 0;
@@ -120,7 +133,10 @@ struct MachineSnapshot
         const double occupancy =
             (liveTasks + 1.0) / (cores > 0 ? cores : 1u);
         const double slowdown = occupancy > 1.0 ? occupancy : 1.0;
-        return slowdown / (baseFrequency > 0 ? baseFrequency : 1.0);
+        const double clock =
+            (baseFrequency > 0 ? baseFrequency : 1.0) *
+            (speedFactor > 0 ? speedFactor : 1.0);
+        return slowdown / clock;
     }
 };
 
@@ -134,7 +150,9 @@ class Dispatcher
 
     /**
      * Choose the machine index for one invocation. @p machines is
-     * never empty; implementations must return a valid index.
+     * never empty and always contains at least one dispatchable
+     * machine; implementations must return the index of a
+     * dispatchable one.
      */
     virtual unsigned pick(const Invocation &inv,
                           const std::vector<MachineSnapshot> &machines) = 0;

@@ -26,9 +26,12 @@ trim(const std::string &s)
 } // namespace
 
 ConfigReader
-ConfigReader::fromString(const std::string &text)
+ConfigReader::fromString(const std::string &text,
+                         const std::string &source)
 {
     ConfigReader reader;
+    reader.source_ = source;
+    const std::string label = source.empty() ? "ConfigReader" : source;
     std::istringstream in(text);
     std::string line;
     int lineNo = 0;
@@ -42,13 +45,14 @@ ConfigReader::fromString(const std::string &text)
             continue;
         const auto eq = line.find('=');
         if (eq == std::string::npos)
-            fatal("ConfigReader: line ", lineNo, " is not key=value: '",
+            fatal(label, ": line ", lineNo, " is not key=value: '",
                   line, "'");
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty())
-            fatal("ConfigReader: empty key on line ", lineNo);
+            fatal(label, ": empty key on line ", lineNo);
         reader.set(key, value);
+        reader.lines_[key] = lineNo;
     }
     return reader;
 }
@@ -61,7 +65,7 @@ ConfigReader::fromFile(const std::string &path)
         fatal("ConfigReader: cannot open '", path, "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return fromString(buffer.str());
+    return fromString(buffer.str(), path);
 }
 
 bool
@@ -140,6 +144,29 @@ ConfigReader::set(const std::string &key, const std::string &value)
     if (!values_.contains(key))
         order_.push_back(key);
     values_[key] = value;
+    // A programmatic override has no file line to point at.
+    lines_.erase(key);
+}
+
+int
+ConfigReader::lineOf(const std::string &key) const
+{
+    const auto it = lines_.find(key);
+    return it == lines_.end() ? 0 : it->second;
+}
+
+std::string
+ConfigReader::where(const std::string &key) const
+{
+    const int line = lineOf(key);
+    if (source_.empty() && line == 0)
+        return "";
+    std::string out = source_.empty() ? "<config>" : source_;
+    if (line > 0) {
+        out += ':';
+        out += std::to_string(line);
+    }
+    return out;
 }
 
 } // namespace litmus

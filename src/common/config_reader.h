@@ -29,10 +29,17 @@ class ConfigReader
   public:
     ConfigReader() = default;
 
-    /** Parse from text; fatal() on malformed lines. */
-    static ConfigReader fromString(const std::string &text);
+    /**
+     * Parse from text; fatal() on malformed lines. @p source names
+     * the text's origin (a file path) in diagnostics; empty means
+     * in-memory text.
+     */
+    static ConfigReader fromString(const std::string &text,
+                                   const std::string &source = "");
 
-    /** Parse from a file; fatal() when unreadable. */
+    /** Parse from a file; fatal() when unreadable. The path becomes
+     *  the reader's source(), so consumers can point diagnostics at
+     *  file:line. */
     static ConfigReader fromFile(const std::string &path);
 
     /** True when the key exists. */
@@ -54,9 +61,25 @@ class ConfigReader
     /** Set / override programmatically. */
     void set(const std::string &key, const std::string &value);
 
+    /** Where this config was parsed from ("" = in-memory). */
+    const std::string &source() const { return source_; }
+
+    /** Line the key was (last) defined on; 0 when the key is unknown
+     *  or was set programmatically. */
+    int lineOf(const std::string &key) const;
+
+    /**
+     * "path:line" locator for one key's definition — "" when neither
+     * a source nor a line is known, so callers can prefix
+     * diagnostics unconditionally.
+     */
+    std::string where(const std::string &key) const;
+
   private:
     std::map<std::string, std::string> values_;
     std::vector<std::string> order_;
+    std::map<std::string, int> lines_;
+    std::string source_;
 };
 
 } // namespace litmus

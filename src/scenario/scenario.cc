@@ -1,5 +1,7 @@
 #include "scenario/scenario.h"
 
+#include <algorithm>
+
 #include "common/config_reader.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -53,6 +55,16 @@ parseBool(const std::string &key, const std::string &value)
         return false;
     fatal("scenario key '", key, "' expects a boolean "
           "(true/false/yes/no/on/off/1/0), got '", value, "'");
+}
+
+/** The known-keys list as one comma-joined string (diagnostics). */
+std::string
+knownKeyListing()
+{
+    std::string known;
+    for (const std::string &k : ScenarioSpec::knownKeys())
+        known += (known.empty() ? "" : ", ") + k;
+    return known;
 }
 
 } // namespace
@@ -147,11 +159,41 @@ ScenarioSpec::set(const std::string &key, const std::string &value)
         probes = parseBool(key, value);
     } else if (key == "sharing_factor") {
         sharingFactor = parseDouble(key, value);
+    } else if (key == "fault.seed") {
+        fault.seed = static_cast<std::uint64_t>(
+            parseLongAtLeast(key, value, 0));
+    } else if (key == "fault.crash.mtbf") {
+        fault.crashMtbf = parseDouble(key, value);
+    } else if (key == "fault.crash.restart") {
+        fault.restartDelay = parseDouble(key, value);
+    } else if (key == "fault.crash.at") {
+        fault.crashAt = cluster::parseScriptedFaults(key, value);
+    } else if (key == "fault.slow.mtbf") {
+        fault.slowMtbf = parseDouble(key, value);
+    } else if (key == "fault.slow.duration") {
+        fault.slowDuration = parseDouble(key, value);
+    } else if (key == "fault.slow.factor") {
+        fault.slowFactor = parseDouble(key, value);
+    } else if (key == "fault.slow.at") {
+        fault.slowAt = cluster::parseScriptedFaults(key, value);
+    } else if (key == "fault.blind.mtbf") {
+        fault.blindMtbf = parseDouble(key, value);
+    } else if (key == "fault.blind.duration") {
+        fault.blindDuration = parseDouble(key, value);
+    } else if (key == "fault.blind.at") {
+        fault.blindAt = cluster::parseScriptedFaults(key, value);
+    } else if (key == "fault.retry") {
+        fault.retry = cluster::retryPolicyByName(value);
+    } else if (key == "fault.retry.max") {
+        fault.retryMax = static_cast<unsigned>(
+            parseLongAtLeast(key, value, 1));
+    } else if (key == "fault.retry.backoff") {
+        fault.retryBackoff = parseDouble(key, value);
+    } else if (key == "fault.billing") {
+        fault.billing = cluster::faultBillingByName(value);
     } else {
-        std::string known;
-        for (const std::string &k : knownKeys())
-            known += (known.empty() ? "" : ", ") + k;
-        fatal("unknown scenario key '", key, "' (known: ", known, ")");
+        fatal("unknown scenario key '", key, "' (known: ",
+              knownKeyListing(), ")");
     }
     return *this;
 }
@@ -162,18 +204,35 @@ ScenarioSpec::knownKeys()
     return {"burst.idle_fraction", "burst.off", "burst.on",
             "calibrate", "calibration_levels", "diurnal.amplitude",
             "diurnal.period", "diurnal.phase", "drain_cap", "duration",
-            "epoch_us", "exact_quantum", "fleet", "functions",
-            "invocations", "keepalive", "policy", "probes", "rate",
-            "seed", "sharing_factor", "tables", "tables_out",
-            "threads", "trace.path", "trace.rate_scale", "traffic"};
+            "epoch_us", "exact_quantum", "fault.billing",
+            "fault.blind.at", "fault.blind.duration",
+            "fault.blind.mtbf", "fault.crash.at", "fault.crash.mtbf",
+            "fault.crash.restart", "fault.retry",
+            "fault.retry.backoff", "fault.retry.max", "fault.seed",
+            "fault.slow.at", "fault.slow.duration",
+            "fault.slow.factor", "fault.slow.mtbf", "fleet",
+            "functions", "invocations", "keepalive", "policy",
+            "probes", "rate", "seed", "sharing_factor", "tables",
+            "tables_out", "threads", "trace.path", "trace.rate_scale",
+            "traffic"};
 }
 
 ScenarioSpec
 ScenarioSpec::fromConfig(const ConfigReader &config)
 {
     ScenarioSpec spec;
-    for (const std::string &key : config.keys())
+    const std::vector<std::string> known = knownKeys();
+    for (const std::string &key : config.keys()) {
+        // Typos surface with the offending line, not just the key:
+        // "examples/x.scenario:12: unknown scenario key ...".
+        if (!std::binary_search(known.begin(), known.end(), key)) {
+            const std::string where = config.where(key);
+            fatal(where.empty() ? "scenario" : where,
+                  ": unknown scenario key '", key, "' (known: ",
+                  knownKeyListing(), ")");
+        }
         spec.set(key, config.get(key));
+    }
     return spec;
 }
 
@@ -236,6 +295,7 @@ ScenarioSpec::validate() const
         fatal("scenario: drain_cap must be positive");
     if (sharingFactor <= 0)
         fatal("scenario: sharing_factor must be positive");
+    fault.validate();
     (void)functionPool();
 }
 

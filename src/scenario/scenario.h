@@ -63,6 +63,9 @@ struct ScenarioSpec
     /** The arrival process (model name + knobs). */
     TrafficSpec traffic;
 
+    /** The fault campaign (fault.* keys; default: no faults). */
+    cluster::FaultSpec fault;
+
     /**
      * Sampling pool: the named set ("all", "test", "reference",
      * "memory") or an explicit comma list of suite function names.
@@ -118,7 +121,9 @@ struct ScenarioSpec
      */
     ScenarioSpec &set(const std::string &key, const std::string &value);
 
-    /** Apply every key of a parsed config, in file order. */
+    /** Apply every key of a parsed config, in file order. Unknown
+     *  keys fatal() with the config's file:line locator, so a typo
+     *  in a scenario file points at the offending line. */
     static ScenarioSpec fromConfig(const ConfigReader &config);
 
     /** Load from a scenario file. A relative trace.path is resolved

@@ -55,6 +55,7 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     cfg_.sharingFactor = spec_.sharingFactor;
     cfg_.probes = spec_.probes.value_or(!cfg_.discountModels.empty());
     cfg_.traffic = traffic_.get();
+    cfg_.faults = spec_.fault;
     cfg_.validate();
 }
 
@@ -187,6 +188,17 @@ printFleetReport(std::ostream &os, const cluster::FleetReport &report)
        << TextTable::num(100 * report.discount(), 1) << "%  makespan "
        << TextTable::num(report.makespan) << " s  rejected "
        << report.rejectedMemory << "\n";
+
+    // The chaos footer only appears when a fault campaign ran.
+    if (report.crashes > 0 || report.killedInvocations > 0) {
+        os << "crashes " << report.crashes << "  killed "
+           << report.killedInvocations << "  retried "
+           << report.retries << "  abandoned " << report.abandoned
+           << "  lost " << TextTable::num(report.lostCpuSeconds)
+           << " s  absorbed "
+           << TextTable::num(report.absorbedCpuSeconds) << " s ($"
+           << TextTable::num(report.absorbedUsd, 6) << ")\n";
+    }
 }
 
 } // namespace litmus::scenario

@@ -131,6 +131,35 @@ Engine::liveTasks()
     return out;
 }
 
+std::vector<std::unique_ptr<Task>>
+Engine::killAllTasks()
+{
+    for (const auto &task : tasks_) {
+        scheduler_.remove(task.get()); // bumps the scheduler version
+        liveIds_.erase(task->id());
+    }
+    // The version bump already fences stale replays, but the plan
+    // holds raw Task pointers into the corpses we are about to hand
+    // out — drop it outright.
+    plan_.valid = false;
+    std::vector<std::unique_ptr<Task>> corpses = std::move(tasks_);
+    tasks_.clear();
+    return corpses;
+}
+
+void
+Engine::setSpeedFactor(double factor)
+{
+    if (!(factor > 0))
+        fatal("Engine::setSpeedFactor: factor must be positive, got ",
+              factor);
+    if (factor == speedFactor_)
+        return;
+    speedFactor_ = factor;
+    // The plan's deltas were solved at the old frequency.
+    plan_.valid = false;
+}
+
 std::uint64_t
 Engine::quantaForDuration(Seconds duration) const
 {
@@ -290,7 +319,12 @@ Engine::fullStep()
     const Seconds dt = quantum_;
     const unsigned cpus = scheduler_.cpuCount();
 
-    const Hertz freq = governor_.frequency(scheduler_.activeCores());
+    // speedFactor_ models transient machine-wide degradation
+    // (thermal / co-tenant interference): fewer cycles per quantum,
+    // so the same work takes longer and bills the same. It feeds the
+    // contention solve (and the memo key) like any frequency change.
+    const Hertz freq =
+        governor_.frequency(scheduler_.activeCores()) * speedFactor_;
     lastFrequency_ = freq;
 
     // Gather running threads and solve each socket's shared domain

@@ -165,6 +165,28 @@ class Engine
     /** Non-owning view of every live task (POPPA victim selection). */
     std::vector<Task *> liveTasks();
 
+    /**
+     * Kill every live task without invoking completion callbacks — a
+     * machine crash with state loss, not an orderly finish. Ownership
+     * of the corpses transfers to the caller, which can read the
+     * partial counters (the work the crash destroyed) for failure
+     * billing. The scheduler is emptied and the replay plan dropped;
+     * the engine keeps running (its clock is monotone through the
+     * crash) and accepts new tasks after the restart.
+     */
+    std::vector<std::unique_ptr<Task>> killAllTasks();
+
+    /** @name Machine speed degradation @{ */
+    /**
+     * Scale the effective core frequency (transient thermal or
+     * co-tenant slowdown windows): 0.5 runs every subsequent quantum
+     * at half clock. Takes effect at the next quantum; call only
+     * between quanta (the cluster applies it at epoch barriers).
+     */
+    void setSpeedFactor(double factor);
+    double speedFactor() const { return speedFactor_; }
+    /** @} */
+
     /** Run statistics (utilizations, completions, ...). */
     EngineStats &stats() { return stats_; }
     const EngineStats &stats() const { return stats_; }
@@ -270,6 +292,8 @@ class Engine
     std::vector<QuantumObserver> quantumCbs_;
     std::uint64_t nextTaskId_ = 1;
     EngineStats stats_;
+    /** Effective-frequency multiplier (slowdown windows; 1 = nominal). */
+    double speedFactor_ = 1.0;
     bool fastForward_;
     FastForwardPlan plan_;
 

@@ -16,10 +16,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/machine_catalog.h"
+#include "workload/program.h"
 
 namespace
 {
@@ -84,6 +89,66 @@ TEST(EpochPool, ReusesWorkersAcrossHeterogeneousEpochs)
     for (int epoch = 0; epoch < 100; ++epoch)
         expected += epoch % 7;
     EXPECT_EQ(counter.load(), expected);
+}
+
+TEST(EpochPool, SurvivesMidBarrierCrash)
+{
+    // The cluster's crash handling calls Engine::killAllTasks at an
+    // epoch barrier — between pool.run calls, while the workers are
+    // parked. The pool must keep scheduling the same job list, the
+    // crashed engine's clock must stay in lockstep with its peers
+    // (engines step while down; they are never recreated), and the
+    // engine must accept new work after the restart.
+    using litmus::sim::Engine;
+    using litmus::workload::PhaseProgram;
+    using litmus::workload::ProgramTask;
+
+    auto machine = litmus::sim::MachineCatalog::get("cascade-5218");
+    machine.cores = 4;
+    Engine a(machine);
+    Engine b(machine);
+
+    const auto task = [] {
+        litmus::workload::Phase p;
+        p.name = "p";
+        p.instructions = 5e6;
+        p.demand.cpi0 = 1.0;
+        p.demand.l2Mpki = 5.0;
+        p.demand.l3WorkingSet = 1 << 20;
+        p.demand.l3MissBase = 0.2;
+        p.demand.mlp = 4.0;
+        return std::make_unique<ProgramTask>("t", PhaseProgram({p}));
+    };
+    a.add(task());
+    b.add(task());
+
+    EpochPool pool(2);
+    const double epoch = 1e-3;
+    std::vector<std::function<void()>> jobs = {
+        [&a, epoch] { a.run(epoch); },
+        [&b, epoch] { b.run(epoch); }};
+    pool.run(jobs);
+
+    // Crash engine A at the barrier: its task dies mid-flight with
+    // partial counters; no completion callback fires.
+    const auto corpses = a.killAllTasks();
+    ASSERT_EQ(corpses.size(), 1u);
+    EXPECT_GT(corpses[0]->counters().cycles, 0.0);
+    EXPECT_EQ(a.taskCount(), 0u);
+
+    // The pool keeps running both engines; the idle (down) engine's
+    // clock advances in lockstep with the busy one.
+    pool.run(jobs);
+    EXPECT_DOUBLE_EQ(a.now(), b.now());
+
+    // Restart: the crashed engine accepts new work and both engines
+    // drain under the pool.
+    a.add(task());
+    for (int i = 0; i < 1000 && (a.taskCount() || b.taskCount()); ++i)
+        pool.run(jobs);
+    EXPECT_EQ(a.taskCount(), 0u);
+    EXPECT_EQ(b.taskCount(), 0u);
+    EXPECT_DOUBLE_EQ(a.now(), b.now());
 }
 
 } // namespace
