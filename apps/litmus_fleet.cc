@@ -69,6 +69,11 @@ main(int argc, char **argv)
         .addOption("keepalive", "warm-container keep-alive (s)", "10")
         .addOption("threads",
                    "worker threads (0 = one per machine)", "0")
+        .addOption("sched",
+                   "cluster scheduling backend: event (deterministic "
+                   "event queue, idle machines cost zero) | epoch "
+                   "(fixed-epoch oracle; bit-identical reports)",
+                   "event")
         .addOption("preset",
                    "machine type (catalog name) for a homogeneous "
                    "fleet",
@@ -160,6 +165,7 @@ main(int argc, char **argv)
     overlay("epoch-us", "epoch_us");
     overlay("keepalive", "keepalive");
     overlay("threads", "threads");
+    overlay("sched", "scheduler");
     overlay("tables", "tables");
     overlay("tables-out", "tables_out");
     if (args.has("faults")) {

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -166,16 +167,19 @@ printDiscountSummary(const pricing::ExperimentResult &result,
 /**
  * Machine-readable bench artifact: grouped numeric metrics written as
  * one JSON object per group, in insertion order. The output path
- * defaults to BENCH_<name>.json in the working directory;
- * LITMUS_BENCH_JSON overrides it (shared by every bench, so CI can
- * redirect a single bench's artifact).
+ * defaults to bench-out/BENCH_<name>.json under the working directory
+ * (the directory is created on write), so every bench's artifacts
+ * collect in one place for CI upload; LITMUS_BENCH_JSON overrides the
+ * full path (shared by every bench, so CI can redirect a single
+ * bench's artifact).
  */
 class BenchJson
 {
   public:
-    /** @param default_path e.g. "BENCH_engine.json" */
+    /** @param default_path e.g. "BENCH_engine.json" (lands in
+     *  bench-out/) */
     explicit BenchJson(std::string default_path)
-        : path_(std::move(default_path))
+        : path_("bench-out/" + std::move(default_path))
     {
         const char *env = std::getenv("LITMUS_BENCH_JSON");
         if (env && *env)
@@ -192,6 +196,15 @@ class BenchJson
     /** Write the artifact; fatal() when unwritable. */
     void write(std::ostream &echo = std::cout) const
     {
+        const std::filesystem::path parent =
+            std::filesystem::path(path_).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec)
+                fatal("BenchJson: cannot create ", parent.string(),
+                      ": ", ec.message());
+        }
         std::ofstream json(path_);
         if (!json)
             fatal("BenchJson: cannot write ", path_);

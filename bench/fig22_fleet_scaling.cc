@@ -111,7 +111,9 @@ main()
     table.print(std::cout);
 
     // Determinism of the threaded runner: the largest configuration,
-    // serial vs. multi-threaded, must produce identical fleet totals.
+    // serial vs. multi-threaded, must produce identical fleet totals —
+    // and the event core must match the epoch oracle bit-for-bit at
+    // both thread counts.
     auto detSpec =
         fleetScenario(16, cluster::DispatchPolicy::WarmthAware,
                       perMachine, ratePerMachine);
@@ -130,6 +132,25 @@ main()
               << " vs " << TextTable::num(
                      threadedReport.billedCpuSeconds, 6)
               << "\n";
+
+    detSpec.scheduler = cluster::SchedulerBackend::Epoch;
+    detSpec.threads = 1;
+    scenario::ScenarioRunner epochSerial(detSpec);
+    const cluster::FleetReport &epochSerialReport = epochSerial.run();
+    detSpec.threads = 8;
+    scenario::ScenarioRunner epochThreaded(detSpec);
+    const cluster::FleetReport &epochThreadedReport =
+        epochThreaded.run();
+    const bool backendsIdentical =
+        cluster::identicalTotals(serialReport, epochSerialReport) &&
+        cluster::identicalTotals(threadedReport, epochThreadedReport);
+    std::cout << "event vs epoch (16 machines, 1 and 8 threads): "
+              << (backendsIdentical ? "identical totals" : "MISMATCH")
+              << "  barriers " << serialReport.sched.barriers
+              << " vs " << epochSerialReport.sched.barriers
+              << " (elided " << serialReport.sched.barriersElided
+              << ", idle quanta skipped "
+              << serialReport.sched.idleQuantaSkipped << ")\n";
 
     bench::printPaperMeasured(
         std::cout,
@@ -151,6 +172,25 @@ main()
     json.metric("", "cold_rate_rr_16", coldRr16);
     json.metric("", "cold_rate_warmth_16", coldWarm16);
     json.metric("", "max_conservation_error", worstConservation);
+    json.metric("", "event_epoch_identical",
+                backendsIdentical ? 1.0 : 0.0);
+    const cluster::SchedulerCounters &sc = serialReport.sched;
+    json.metric("sched_event", "events_arrival",
+                static_cast<double>(sc.eventsArrival));
+    json.metric("sched_event", "events_retry",
+                static_cast<double>(sc.eventsRetry));
+    json.metric("sched_event", "events_fault",
+                static_cast<double>(sc.eventsFault));
+    json.metric("sched_event", "events_keepalive",
+                static_cast<double>(sc.eventsKeepAlive));
+    json.metric("sched_event", "events_progress",
+                static_cast<double>(sc.eventsProgress));
+    json.metric("sched_event", "barriers",
+                static_cast<double>(sc.barriers));
+    json.metric("sched_event", "barriers_elided",
+                static_cast<double>(sc.barriersElided));
+    json.metric("sched_event", "idle_quanta_skipped",
+                static_cast<double>(sc.idleQuantaSkipped));
     json.write();
 
     if (worstConservation > 1e-6)
@@ -158,5 +198,7 @@ main()
               worstConservation, " relative)");
     if (!deterministic)
         fatal("fig22: threaded fleet runner is not deterministic");
+    if (!backendsIdentical)
+        fatal("fig22: event scheduler diverged from the epoch oracle");
     return 0;
 }

@@ -10,24 +10,40 @@
  *    fast-forward engine should replay essentially every quantum;
  *  - fleet: the fig22 serving path (open-loop Poisson traffic, warm
  *    pools, epoch barriers) on a small fleet, where arrivals, slice
- *    rotations, and completions keep ending steady stretches.
+ *    rotations, and completions keep ending steady stretches. The
+ *    fleet runs three ways: the exact-quantum epoch oracle, the
+ *    fast-forwarding epoch loop, and the event-driven core (idle
+ *    machines never stepped) — whose FleetReports must be
+ *    bit-identical;
+ *  - sparse: the same fleet at a low arrival rate, mostly idle —
+ *    the event core's home turf, where the epoch loop still marches
+ *    every machine through every quantum and the event queue
+ *    fast-forwards between arrivals. This is where the event
+ *    scheduler must land within 2x of the steady-state single-machine
+ *    fast-forward throughput.
  *
- * Reports simulated-seconds-per-wall-second for both modes, solver
- * calls, memo hits, and executed-vs-replayed quanta, and writes the
- * same numbers to a machine-readable BENCH_engine.json so the perf
- * trajectory is tracked run over run.
+ * Reports simulated-seconds-per-wall-second for every mode, solver
+ * calls, memo hits, and executed / replayed / idle-skipped quanta,
+ * and writes the same numbers to a machine-readable
+ * bench-out/BENCH_engine.json so the perf trajectory is tracked run
+ * over run.
  *
- * Always enforced (CI bench-smoke, sanitizer job included): replayed-
- * quantum accounting must conserve total simulated time to 1e-9 and
- * both modes must execute identical quantum counts. The >= 5x steady
- * and >= 2x fleet speedup floors are asserted unless
- * LITMUS_BENCH_STRICT=0 (smoke/sanitizer runs, where wall-clock
- * ratios are not meaningful).
+ * Always enforced (CI bench-smoke, sanitizer job included): quantum
+ * accounting (executed + idle-skipped) must conserve total simulated
+ * time to 1e-9, every fleet mode must cover identical quantum counts,
+ * and the event-vs-epoch FleetReports must be bit-identical. The
+ * >= 5x steady and >= 2x fleet speedup floors — and the event
+ * scheduler landing within 2x of the steady-state single-machine
+ * fast-forward throughput — are asserted unless LITMUS_BENCH_STRICT=0
+ * (smoke/sanitizer runs, where wall-clock ratios are not meaningful).
  *
  * Knobs: LITMUS_ENGINE_BENCH_SECONDS (steady simulated seconds,
  * default 1.0), LITMUS_FLEET_INVOCATIONS (per machine, default 625),
- * LITMUS_FLEET_RATE (per machine, default 500), LITMUS_BENCH_JSON
- * (output path, default BENCH_engine.json), LITMUS_BENCH_STRICT.
+ * LITMUS_FLEET_RATE (per machine, default 500),
+ * LITMUS_SPARSE_INVOCATIONS (per machine, default 200),
+ * LITMUS_SPARSE_RATE (per machine, default 20), LITMUS_BENCH_JSON
+ * (output path, default bench-out/BENCH_engine.json),
+ * LITMUS_BENCH_STRICT.
  */
 
 #include <chrono>
@@ -82,9 +98,12 @@ struct ModeResult
     double simSeconds = 0;    // simulated seconds advanced
     double quanta = 0;        // quanta executed
     double ffQuanta = 0;      // quanta advanced by replay
+    double skipped = 0;       // idle quanta elided (event core)
     double solves = 0;        // contention solver invocations
     double memoHits = 0;      // solves served from the memo
     double simPerWall() const { return wall > 0 ? simSeconds / wall : 0; }
+    /** Quanta covered on the canonical grid, stepped or not. */
+    double covered() const { return quanta + skipped; }
 };
 
 void
@@ -93,20 +112,23 @@ accumulateEngine(ModeResult &r, const sim::Engine &engine)
     const sim::EngineStats &st = engine.stats();
     r.quanta += st.quanta.value();
     r.ffQuanta += st.ffQuanta.value();
+    r.skipped += st.skippedQuanta.value();
     r.solves += st.solves.value();
     r.memoHits += st.solveMemoHits.value();
 }
 
 /**
- * Skipped-quantum accounting must conserve simulated time: the clock
- * an engine reached has to equal its executed quantum count times the
- * quantum, replayed or not.
+ * Quantum accounting must conserve simulated time: the clock an
+ * engine reached has to equal its covered quantum count (executed —
+ * replayed or not — plus idle-skipped) times the quantum.
  */
 void
 checkConservation(const char *scenario, const sim::Engine &engine,
                   Seconds quantum)
 {
-    const double expected = engine.stats().quanta.value() * quantum;
+    const double expected = (engine.stats().quanta.value() +
+                             engine.stats().skippedQuanta.value()) *
+                            quantum;
     // Relative 1e-9 (with a 1 ns floor): the engine clock accumulates
     // one addition per quantum, whose representation error grows with
     // the run length — while a real accounting bug (a skipped or
@@ -118,7 +140,8 @@ checkConservation(const char *scenario, const sim::Engine &engine,
         fatal("micro_engine_throughput: ", scenario,
               " quantum accounting drifted ", drift,
               " simulated seconds (", engine.stats().quanta.value(),
-              " quanta, ff ", engine.stats().ffQuanta.value(), ")");
+              " quanta, ff ", engine.stats().ffQuanta.value(),
+              ", skipped ", engine.stats().skippedQuanta.value(), ")");
 }
 
 ModeResult
@@ -153,7 +176,9 @@ runSteady(bool fast_forward, Seconds sim_seconds)
 }
 
 ModeResult
-runFleet(bool fast_forward, std::uint64_t per_machine, double rate)
+runFleet(bool fast_forward, std::uint64_t per_machine, double rate,
+         cluster::SchedulerBackend sched,
+         cluster::FleetReport *report_out = nullptr)
 {
     const Seconds quantum = 50e-6;
     const unsigned machines = 4;
@@ -166,7 +191,8 @@ runFleet(bool fast_forward, std::uint64_t per_machine, double rate)
     cfg.seed = 7;
     cfg.threads = 1; // serial: the wall-clock ratio measures the
                      // engines, not the host's thread scheduling
-    cfg.exactQuantum = !fast_forward;
+    cfg.scheduler = sched;
+    cfg.exactQuantum = !fast_forward; // true forces the epoch oracle
 
     cluster::Cluster fleet(cfg);
     ModeResult r;
@@ -177,6 +203,8 @@ runFleet(bool fast_forward, std::uint64_t per_machine, double rate)
         accumulateEngine(r, engine);
         checkConservation("fleet", engine, quantum);
     }
+    if (report_out)
+        *report_out = fleet.report();
     return r;
 }
 
@@ -187,6 +215,7 @@ addRow(TextTable &table, const std::string &scenario,
     table.addRow({scenario, mode, TextTable::num(r.simPerWall(), 0),
                   TextTable::num(r.quanta, 0),
                   TextTable::num(r.ffQuanta, 0),
+                  TextTable::num(r.skipped, 0),
                   TextTable::num(r.solves, 0),
                   TextTable::num(r.memoHits, 0)});
 }
@@ -244,20 +273,53 @@ main()
         bestOf([&] { return runSteady(false, steadySeconds); });
     const ModeResult steadyFast =
         bestOf([&] { return runSteady(true, steadySeconds); });
-    const ModeResult fleetExact = bestOf(
-        [&] { return runFleet(false, perMachine, ratePerMachine); });
-    const ModeResult fleetFast = bestOf(
-        [&] { return runFleet(true, perMachine, ratePerMachine); });
+    cluster::FleetReport epochReport, eventReport;
+    const ModeResult fleetExact = bestOf([&] {
+        return runFleet(false, perMachine, ratePerMachine,
+                        cluster::SchedulerBackend::Epoch);
+    });
+    const ModeResult fleetEpoch = bestOf([&] {
+        return runFleet(true, perMachine, ratePerMachine,
+                        cluster::SchedulerBackend::Epoch, &epochReport);
+    });
+    const ModeResult fleetEvent = bestOf([&] {
+        return runFleet(true, perMachine, ratePerMachine,
+                        cluster::SchedulerBackend::Event, &eventReport);
+    });
+    const std::uint64_t sparseInv =
+        pricing::envOr("LITMUS_SPARSE_INVOCATIONS", 200);
+    const double sparseRate = pricing::envOr("LITMUS_SPARSE_RATE", 20);
+    cluster::FleetReport sparseEpochReport, sparseEventReport;
+    const ModeResult sparseEpoch = bestOf([&] {
+        return runFleet(true, sparseInv, sparseRate,
+                        cluster::SchedulerBackend::Epoch,
+                        &sparseEpochReport);
+    });
+    const ModeResult sparseEvent = bestOf([&] {
+        return runFleet(true, sparseInv, sparseRate,
+                        cluster::SchedulerBackend::Event,
+                        &sparseEventReport);
+    });
 
-    // Both modes must have executed the identical quantum count, and
-    // exact mode must never have replayed: otherwise the wall-clock
-    // comparison is comparing different amounts of simulation.
+    // Every mode must have covered the identical quantum count
+    // (executed, replayed, or idle-skipped), and exact mode must never
+    // have replayed: otherwise the wall-clock comparison is comparing
+    // different amounts of simulation.
     if (steadyExact.quanta != steadyFast.quanta ||
-        fleetExact.quanta != fleetFast.quanta)
-        fatal("micro_engine_throughput: modes executed different "
+        fleetExact.covered() != fleetEpoch.covered() ||
+        fleetExact.covered() != fleetEvent.covered() ||
+        sparseEpoch.covered() != sparseEvent.covered())
+        fatal("micro_engine_throughput: modes covered different "
               "quantum counts");
     if (steadyExact.ffQuanta != 0 || fleetExact.ffQuanta != 0)
         fatal("micro_engine_throughput: exact mode replayed quanta");
+    // The tentpole's determinism contract: the event core and the
+    // epoch oracle must produce bit-identical fleet reports, on the
+    // loaded fleet and the sparse one alike.
+    if (!cluster::identicalTotals(eventReport, epochReport) ||
+        !cluster::identicalTotals(sparseEventReport, sparseEpochReport))
+        fatal("micro_engine_throughput: event scheduler diverged from "
+              "the epoch oracle");
     // Deterministic fast-path assertion (independent of wall clock):
     // on a purely steady workload with no observers, everything after
     // the first quantum must take the replay path.
@@ -267,39 +329,82 @@ main()
               " — the fast path is not engaging");
 
     TextTable table({"scenario", "mode", "sim s / wall s", "quanta",
-                     "ff quanta", "solves", "memo hits"});
+                     "ff quanta", "skipped", "solves", "memo hits"});
     addRow(table, "steady", "exact-quantum", steadyExact);
     addRow(table, "steady", "fast-forward", steadyFast);
     addRow(table, "fleet", "exact-quantum", fleetExact);
-    addRow(table, "fleet", "fast-forward", fleetFast);
+    addRow(table, "fleet", "epoch", fleetEpoch);
+    addRow(table, "fleet", "event", fleetEvent);
+    addRow(table, "sparse", "epoch", sparseEpoch);
+    addRow(table, "sparse", "event", sparseEvent);
     table.print(std::cout);
 
     const double steadySpeedup =
         steadyFast.wall > 0 ? steadyExact.wall / steadyFast.wall : 0;
     const double fleetSpeedup =
-        fleetFast.wall > 0 ? fleetExact.wall / fleetFast.wall : 0;
+        fleetEvent.wall > 0 ? fleetExact.wall / fleetEvent.wall : 0;
+    const double sparseSpeedup =
+        sparseEvent.wall > 0 ? sparseEpoch.wall / sparseEvent.wall : 0;
+    // The headline acceptance ratio: how close the event-driven
+    // mostly-idle fleet gets to a lone fast-forwarding machine's
+    // sim-seconds-per-wall.
+    const double eventVsSteady =
+        steadyFast.simPerWall() > 0
+            ? sparseEvent.simPerWall() / steadyFast.simPerWall()
+            : 0;
 
     bench::printPaperMeasured(
         std::cout,
-        "n/a (engineering target: >= 5x steady, >= 2x fleet, "
-        "bit-identical output)",
+        "n/a (engineering target: >= 5x steady, >= 2x fleet, event "
+        "fleet within 2x of steady, bit-identical output)",
         "steady x" + TextTable::num(steadySpeedup, 1) + " (" +
             TextTable::num(steadyFast.simPerWall(), 0) + " vs " +
             TextTable::num(steadyExact.simPerWall(), 0) +
             " sim s/wall s), fleet x" +
-            TextTable::num(fleetSpeedup, 1) + ", replay rate " +
+            TextTable::num(fleetSpeedup, 1) + ", sparse event x" +
+            TextTable::num(sparseSpeedup, 1) + " over epoch (at " +
+            TextTable::num(100.0 * eventVsSteady, 1) +
+            "% of steady), replay rate " +
             TextTable::num(
                 100.0 * steadyFast.ffQuanta / steadyFast.quanta, 1) +
             "% steady / " +
             TextTable::num(
-                100.0 * fleetFast.ffQuanta / fleetFast.quanta, 1) +
-            "% fleet, solver calls " +
-            TextTable::num(fleetFast.solves, 0) + " of " +
+                100.0 * fleetEvent.ffQuanta / fleetEvent.quanta, 1) +
+            "% fleet, idle skipped " +
+            TextTable::num(fleetEvent.skipped, 0) +
+            ", solver calls " +
+            TextTable::num(fleetEvent.solves, 0) + " of " +
             TextTable::num(fleetExact.solves, 0));
 
     bench::BenchJson json("BENCH_engine.json");
     jsonScenario(json, "steady", steadyExact, steadyFast);
-    jsonScenario(json, "fleet", fleetExact, fleetFast);
+    jsonScenario(json, "fleet", fleetExact, fleetEvent);
+    json.metric("fleet", "sim_per_wall_epoch", fleetEpoch.simPerWall());
+    json.metric("fleet", "idle_quanta_skipped", fleetEvent.skipped);
+    json.metric("fleet", "event_epoch_identical", 1.0);
+    json.metric("sparse", "sim_per_wall_epoch",
+                sparseEpoch.simPerWall());
+    json.metric("sparse", "sim_per_wall_event",
+                sparseEvent.simPerWall());
+    json.metric("sparse", "event_speedup_over_epoch", sparseSpeedup);
+    json.metric("sparse", "event_vs_steady_ratio", eventVsSteady);
+    json.metric("sparse", "idle_quanta_skipped", sparseEvent.skipped);
+    json.metric("sparse", "event_epoch_identical", 1.0);
+    const cluster::SchedulerCounters &sc = eventReport.sched;
+    json.metric("fleet_events", "arrival",
+                static_cast<double>(sc.eventsArrival));
+    json.metric("fleet_events", "retry",
+                static_cast<double>(sc.eventsRetry));
+    json.metric("fleet_events", "fault",
+                static_cast<double>(sc.eventsFault));
+    json.metric("fleet_events", "keepalive",
+                static_cast<double>(sc.eventsKeepAlive));
+    json.metric("fleet_events", "progress",
+                static_cast<double>(sc.eventsProgress));
+    json.metric("fleet_events", "barriers",
+                static_cast<double>(sc.barriers));
+    json.metric("fleet_events", "barriers_elided",
+                static_cast<double>(sc.barriersElided));
     json.write();
 
     if (strict) {
@@ -309,6 +414,11 @@ main()
         if (fleetSpeedup < 2.0)
             fatal("micro_engine_throughput: fleet speedup ",
                   fleetSpeedup, " below the 2x floor");
+        if (eventVsSteady < 0.5)
+            fatal("micro_engine_throughput: event fleet at ",
+                  eventVsSteady,
+                  " of steady-state throughput — below the within-2x "
+                  "floor");
     }
     return 0;
 }

@@ -1,11 +1,13 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <thread>
 #include <unordered_map>
 
 #include "cluster/epoch_pool.h"
+#include "cluster/event_queue.h"
 #include "common/logging.h"
 #include "core/litmus_probe.h"
 #include "sim/machine_catalog.h"
@@ -13,6 +15,30 @@
 
 namespace litmus::cluster
 {
+
+const char *
+schedulerName(SchedulerBackend backend)
+{
+    switch (backend) {
+    case SchedulerBackend::Epoch:
+        return "epoch";
+    case SchedulerBackend::Event:
+        return "event";
+    }
+    fatal("schedulerName: unknown backend ",
+          static_cast<unsigned>(backend));
+}
+
+SchedulerBackend
+schedulerByName(const std::string &name)
+{
+    if (name == "epoch")
+        return SchedulerBackend::Epoch;
+    if (name == "event")
+        return SchedulerBackend::Event;
+    fatal("unknown scheduler backend '", name,
+          "' — expected 'event' or 'epoch'");
+}
 
 unsigned
 ClusterConfig::totalMachines() const
@@ -36,6 +62,25 @@ ClusterConfig::validate() const
                   "positive count");
         // Resolving an unknown name fatal()s with the catalog listing.
         (void)sim::MachineCatalog::get(group.machine);
+    }
+    // The dispatch epoch is a whole number of quanta and the fleet
+    // clock lives on one shared grid, so every machine type in a
+    // fleet must agree on the engine quantum (satisfied trivially by
+    // homogeneous fleets and the built-in presets).
+    const Seconds quantum =
+        sim::MachineCatalog::get(fleet.front().machine).quantum;
+    for (const MachineGroup &group : fleet) {
+        const sim::MachineConfig mc =
+            sim::MachineCatalog::get(group.machine);
+        if (mc.quantum != quantum) {
+            fatal("ClusterConfig: machine types '",
+                  fleet.front().machine, "' (quantum ", quantum,
+                  " s) and '", group.machine, "' (quantum ",
+                  mc.quantum,
+                  " s) disagree on the simulation quantum — a fleet "
+                  "shares one quantum grid; give every type the same "
+                  "quantum_us (or register variants that agree)");
+        }
     }
     if (functionPool.empty())
         fatal("ClusterConfig: functionPool is empty — traffic needs "
@@ -137,6 +182,10 @@ struct Cluster::Machine
         sim::ProbeCapture probe;
         Seconds launchTime = 0;
         Seconds completionTime = 0;
+
+        /** Engine tick (1-based quantum) the completion landed in;
+         *  harvest groups folds by its covering epoch barrier. */
+        std::uint64_t tick = 0;
     };
 
     Machine(unsigned idx, sim::MachineConfig machine_config,
@@ -156,6 +205,7 @@ struct Cluster::Machine
             done.probe = task.probe();
             done.launchTime = task.launchTime();
             done.completionTime = task.completionTime();
+            done.tick = engine.tickCount();
             completed.push_back(std::move(done));
             live.erase(it);
         });
@@ -384,6 +434,13 @@ Cluster::dispatch(const Invocation &inv,
         ++report_.coldStarts;
     }
 
+    // An idle machine may lag the fleet grid (the event core never
+    // steps idle engines); land it on the canonical clock before the
+    // work arrives. No-op when the engine stepped every quantum.
+    if (m.engine.tickCount() < fleetTick_)
+        m.engine.skipIdleQuanta(fleetTick_ - m.engine.tickCount(),
+                                fleetClock_);
+
     sim::Task &handle = m.engine.add(std::move(task));
     m.live.emplace(handle.id(),
                    Machine::Live{inv.spec, warm, inv.seq, inv.attempt});
@@ -400,42 +457,72 @@ Cluster::dispatch(const Invocation &inv,
 void
 Cluster::harvest(Seconds now)
 {
+    const auto fold = [this](Machine &m, const Machine::Completed &done) {
+        // A default estimate (rates of 1) bills commercially; a
+        // cold invocation with a completed Litmus probe earns the
+        // model's discounted rates.
+        pricing::DiscountEstimate estimate;
+        if (m.discountModel && !done.warm && done.probe.complete) {
+            estimate = m.discountModel->estimate(
+                pricing::readProbe(done.probe),
+                done.spec->language, cfg_.sharingFactor);
+        }
+        const pricing::PriceQuote quote =
+            pricing::quoteWithEstimate(done.counters, estimate);
+
+        m.ledger.record(workload::languageName(done.spec->language),
+                        done.spec->name, done.counters, quote,
+                        done.spec->memoryFootprint);
+
+        // Fleet accumulation is independent of the ledgers; the
+        // conservation test compares the two.
+        report_.billedCpuSeconds +=
+            done.counters.cycles / cfg_.billing.billingFrequency;
+        ++report_.completions;
+        ++m.completions;
+        const double latency = done.completionTime - done.launchTime;
+        m.latencySum += latency;
+        latencySum_ += latency;
+        m.committedMemory -= done.spec->memoryFootprint;
+
+        // The container goes idle-warm until its keep-alive ends.
+        const Seconds expiry = done.completionTime + cfg_.keepAlive;
+        m.warmIdle[done.spec->name].push_back(expiry);
+        m.nextWarmExpiry = std::min(m.nextWarmExpiry, expiry);
+    };
+
+    // Fold completions grouped by covering epoch barrier (ascending),
+    // machines in index order within a barrier — the exact order the
+    // epoch march accumulates fleet totals one barrier at a time, so
+    // a multi-epoch event batch folds bit-identically. Each machine's
+    // buffer is tick-monotone (capture order), so one cursor per
+    // machine suffices; a single-epoch batch has one barrier group
+    // and this degenerates to the plain machine-order fold.
+    const auto barrierOf = [this](std::uint64_t tick) {
+        return (tick + epochQuanta_ - 1) / epochQuanta_;
+    };
+    std::vector<std::size_t> cursor(machines_.size(), 0);
+    for (;;) {
+        std::uint64_t minBarrier =
+            std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t i = 0; i < machines_.size(); ++i) {
+            const auto &completed = machines_[i]->completed;
+            if (cursor[i] < completed.size())
+                minBarrier = std::min(
+                    minBarrier, barrierOf(completed[cursor[i]].tick));
+        }
+        if (minBarrier == std::numeric_limits<std::uint64_t>::max())
+            break;
+        for (std::size_t i = 0; i < machines_.size(); ++i) {
+            Machine &m = *machines_[i];
+            while (cursor[i] < m.completed.size() &&
+                   barrierOf(m.completed[cursor[i]].tick) == minBarrier)
+                fold(m, m.completed[cursor[i]++]);
+        }
+    }
+
     for (const auto &mp : machines_) {
         Machine &m = *mp;
-        for (const Machine::Completed &done : m.completed) {
-            // A default estimate (rates of 1) bills commercially; a
-            // cold invocation with a completed Litmus probe earns the
-            // model's discounted rates.
-            pricing::DiscountEstimate estimate;
-            if (m.discountModel && !done.warm && done.probe.complete) {
-                estimate = m.discountModel->estimate(
-                    pricing::readProbe(done.probe),
-                    done.spec->language, cfg_.sharingFactor);
-            }
-            const pricing::PriceQuote quote =
-                pricing::quoteWithEstimate(done.counters, estimate);
-
-            m.ledger.record(workload::languageName(done.spec->language),
-                            done.spec->name, done.counters, quote,
-                            done.spec->memoryFootprint);
-
-            // Fleet accumulation is independent of the ledgers; the
-            // conservation test compares the two.
-            report_.billedCpuSeconds +=
-                done.counters.cycles / cfg_.billing.billingFrequency;
-            ++report_.completions;
-            ++m.completions;
-            const double latency =
-                done.completionTime - done.launchTime;
-            m.latencySum += latency;
-            latencySum_ += latency;
-            m.committedMemory -= done.spec->memoryFootprint;
-
-            // The container goes idle-warm until its keep-alive ends.
-            const Seconds expiry = done.completionTime + cfg_.keepAlive;
-            m.warmIdle[done.spec->name].push_back(expiry);
-            m.nextWarmExpiry = std::min(m.nextWarmExpiry, expiry);
-        }
         m.completed.clear();
 
         // Expire idle containers whose keep-alive has lapsed. Nothing
@@ -443,6 +530,7 @@ Cluster::harvest(Seconds now)
         // skipped (bit-identically: it would be a no-op) until then.
         if (now < m.nextWarmExpiry)
             continue;
+        ++report_.sched.eventsKeepAlive;
         m.nextWarmExpiry = std::numeric_limits<double>::infinity();
         // LITMUS-LINT-ALLOW(unordered-iter): order-independent fold — min() over pool fronts commutes and erasing expired pools is per-key; no report, billing total, or dispatch decision sees the visit order
         for (auto it = m.warmIdle.begin(); it != m.warmIdle.end();) {
@@ -586,6 +674,7 @@ Cluster::applyFaults(Seconds now)
     while (faultCursor_ < events.size() &&
            events[faultCursor_].at <= now) {
         const FaultEvent &ev = events[faultCursor_++];
+        ++report_.sched.eventsFault;
         Machine &m = *machines_[ev.machine];
         switch (ev.kind) {
         case FaultKind::Crash:
@@ -614,6 +703,343 @@ Cluster::applyFaults(Seconds now)
             break;
         }
     }
+}
+
+/** Per-run serving state shared by both backends. */
+struct Cluster::Serve
+{
+    explicit Serve(unsigned threads) : pool(threads) {}
+
+    /** The full arrival trace, generated up front. */
+    std::vector<Invocation> trace;
+
+    /** Next undispatched trace arrival. */
+    std::size_t next = 0;
+
+    /** @name Drain-cap bases @{ */
+    Seconds lastArrival = 0;
+    Seconds lastFault = 0;
+    /** @} */
+
+    /** What one epoch actually advances: epochs that are not a whole
+     *  number of quanta round up to the covering quantum, so targets
+     *  must be computed against this span, not cfg.epoch. */
+    Seconds epochSpan = 0;
+
+    /** Worker pool advancing busy engines between barriers. */
+    EpochPool pool;
+};
+
+bool
+Cluster::anyLive() const
+{
+    return std::any_of(machines_.begin(), machines_.end(),
+                       [](const auto &m) {
+                           return m->engine.taskCount() > 0;
+                       });
+}
+
+void
+Cluster::advanceFleetEpochs(std::uint64_t epochs)
+{
+    const Seconds quantum = machines_.front()->engine.quantum();
+    const std::uint64_t quanta = epochs * epochQuanta_;
+    // One fadd per quantum — the same accumulation every stepping
+    // engine performs, so synced engines land on fleetClock_ exactly.
+    for (std::uint64_t q = 0; q < quanta; ++q)
+        fleetClock_ += quantum;
+    fleetTick_ += quanta;
+}
+
+std::uint64_t
+Cluster::advanceClockToCover(Seconds target)
+{
+    std::uint64_t epochs = 0;
+    do {
+        advanceFleetEpochs(1);
+        ++epochs;
+    } while (fleetClock_ < target);
+    return epochs;
+}
+
+void
+Cluster::dispatchDue(Serve &s, Seconds now)
+{
+    // Arrivals are dispatched at the first epoch boundary at or after
+    // their arrival time (never early), with warm containers parked
+    // by this barrier's completions already visible. Due retries
+    // interleave with due arrivals in (time, seq) order — a retry's
+    // seq predates every pending arrival's. One snapshot set serves
+    // the whole batch (dispatch keeps it current); if no machine is
+    // dispatchable, everything due waits for the barrier that reopens
+    // the fleet.
+    const bool anyDue =
+        (s.next < s.trace.size() &&
+         s.trace[s.next].arrival <= now) ||
+        (!retryQueue_.empty() && retryQueue_.front().arrival <= now);
+    if (!anyDue)
+        return;
+    auto snaps = snapshots();
+    const bool open = std::any_of(snaps.begin(), snaps.end(),
+                                  [](const MachineSnapshot &snap) {
+                                      return snap.dispatchable;
+                                  });
+    while (open) {
+        const bool arrivalDue = s.next < s.trace.size() &&
+                                s.trace[s.next].arrival <= now;
+        const bool retryDue = !retryQueue_.empty() &&
+                              retryQueue_.front().arrival <= now;
+        if (!arrivalDue && !retryDue)
+            break;
+        bool takeRetry = retryDue;
+        if (arrivalDue && retryDue) {
+            const Invocation &a = s.trace[s.next];
+            const Invocation &r = retryQueue_.front();
+            takeRetry = r.arrival < a.arrival ||
+                        (r.arrival == a.arrival && r.seq < a.seq);
+        }
+        if (takeRetry) {
+            const Invocation inv = retryQueue_.front();
+            retryQueue_.erase(retryQueue_.begin());
+            ++report_.sched.eventsRetry;
+            dispatch(inv, snaps);
+        } else {
+            ++report_.sched.eventsArrival;
+            dispatch(s.trace[s.next], snaps);
+            ++s.next;
+        }
+    }
+}
+
+Seconds
+Cluster::serveEpoch(Serve &s)
+{
+    std::uint64_t epochsBatch = 1;
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(machines_.size());
+    for (const auto &m : machines_) {
+        Machine *machine = m.get();
+        jobs.emplace_back([this, machine, &epochsBatch] {
+            machine->engine.runQuanta(epochsBatch * epochQuanta_);
+        });
+    }
+
+    const std::vector<FaultEvent> &faultEvents = faultPlan_.events();
+    while (s.next < s.trace.size() || !retryQueue_.empty() ||
+           anyLive()) {
+        const Seconds drainBase = std::max(
+            s.lastArrival, std::max(s.lastFault, latestRetry_));
+        if (fleetClock_ > drainBase + cfg_.drainCap)
+            fatal("Cluster::run: fleet failed to drain within ",
+                  cfg_.drainCap, " simulated seconds of the last "
+                  "arrival");
+        // Idle fast-forward: with no live task anywhere, nothing can
+        // complete and no warm pool can grow, so the next due event —
+        // arrival, retry, or fault transition — is the only
+        // interesting time: run every epoch before it as one batch
+        // (one barrier instead of thousands). The engines still
+        // execute every quantum (cheaply, via their idle replay plan),
+        // keep-alive expiry sweeps are monotone in the clock, and the
+        // conservative floor means the dispatch boundary itself is
+        // reached by normal single-epoch stepping — so totals and
+        // stats stay bit-identical to exact mode. Work already due
+        // but blocked behind a fleet-wide outage or blindness window
+        // contributes no target; the pending fault transition that
+        // unblocks it does.
+        epochsBatch = 1;
+        if (!cfg_.exactQuantum && !anyLive()) {
+            const Seconds inf =
+                std::numeric_limits<double>::infinity();
+            Seconds target = inf;
+            if (s.next < s.trace.size() &&
+                s.trace[s.next].arrival > fleetClock_)
+                target = std::min(target, s.trace[s.next].arrival);
+            if (!retryQueue_.empty() &&
+                retryQueue_.front().arrival > fleetClock_)
+                target = std::min(target, retryQueue_.front().arrival);
+            if (faultCursor_ < faultEvents.size())
+                target = std::min(target, faultEvents[faultCursor_].at);
+            const double gap = target == inf ? 0 : target - fleetClock_;
+            if (gap > s.epochSpan) {
+                epochsBatch = std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(gap / s.epochSpan));
+            }
+        }
+        const bool live = anyLive();
+        s.pool.run(jobs);
+        // All engines execute the same quantum count, so the canonical
+        // clock (the same fadd sequence) is every machine's clock.
+        advanceFleetEpochs(epochsBatch);
+        ++report_.sched.barriers;
+        if (live)
+            ++report_.sched.eventsProgress;
+        const Seconds now = fleetClock_;
+        harvest(now);
+        // Fault transitions apply at the barrier after their
+        // timestamp — the same granularity as dispatch. Completions
+        // harvested above beat a crash landing at this barrier; a
+        // machine restarting here accepts dispatches immediately.
+        applyFaults(now);
+        dispatchDue(s, now);
+    }
+    return fleetClock_;
+}
+
+Seconds
+Cluster::serveEvent(Serve &s)
+{
+    const std::vector<FaultEvent> &faultEvents = faultPlan_.events();
+    EventQueue queue;
+    std::vector<Event> armed;
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(machines_.size());
+
+    // Conservative barrier-tick estimate for event ordering; dueness
+    // is always decided against the exact accumulated fleet clock, so
+    // an estimate one barrier off cannot move an event.
+    const auto tickEstimate = [this, &s](Seconds time) {
+        return static_cast<std::uint64_t>(
+                   std::ceil(time / s.epochSpan)) *
+               epochQuanta_;
+    };
+
+    while (s.next < s.trace.size() || !retryQueue_.empty() ||
+           anyLive()) {
+        const Seconds drainBase = std::max(
+            s.lastArrival, std::max(s.lastFault, latestRetry_));
+        if (fleetClock_ > drainBase + cfg_.drainCap)
+            fatal("Cluster::run: fleet failed to drain within ",
+                  cfg_.drainCap, " simulated seconds of the last "
+                  "arrival");
+
+        // Arm the head event of each class. Only *future* arrivals
+        // and retries arm: work already due but blocked behind a
+        // fleet-wide outage contributes no target (the epoch loop's
+        // rule exactly) — the fault transition that unblocks it does,
+        // and the fault head is always armed.
+        queue.clear();
+        if (s.next < s.trace.size() &&
+            s.trace[s.next].arrival > fleetClock_) {
+            queue.push({tickEstimate(s.trace[s.next].arrival),
+                        EventClass::Arrival, 0, s.trace[s.next].seq,
+                        s.trace[s.next].arrival});
+        }
+        if (!retryQueue_.empty() &&
+            retryQueue_.front().arrival > fleetClock_) {
+            queue.push({tickEstimate(retryQueue_.front().arrival),
+                        EventClass::Retry, 0,
+                        retryQueue_.front().seq,
+                        retryQueue_.front().arrival});
+        }
+        if (faultCursor_ < faultEvents.size()) {
+            const FaultEvent &f = faultEvents[faultCursor_];
+            queue.push({tickEstimate(f.at), EventClass::Fault,
+                        f.machine, faultCursor_, f.at});
+        }
+        const bool live = anyLive();
+        const bool workPending =
+            s.next < s.trace.size() || !retryQueue_.empty();
+
+        // Keep-alive expiries coalesce lazily: one event for the
+        // fleet-wide earliest expiry; the sweep it triggers clears
+        // everything lapsed at once. Armed only while work is in
+        // flight — an idle fleet's sweeps fold into the next real
+        // barrier (the epoch oracle's own idle-jump rule), and the
+        // sweep's outcome is the same either way.
+        if (live) {
+            Seconds warmMin = std::numeric_limits<double>::infinity();
+            unsigned warmMachine = 0;
+            for (const auto &m : machines_) {
+                if (m->nextWarmExpiry < warmMin) {
+                    warmMin = m->nextWarmExpiry;
+                    warmMachine = m->index;
+                }
+            }
+            if (warmMin > fleetClock_ &&
+                warmMin < std::numeric_limits<double>::infinity()) {
+                queue.push({tickEstimate(warmMin),
+                            EventClass::KeepAlive, warmMachine, 0,
+                            warmMin});
+            }
+        }
+
+        std::uint64_t epochs = 1;
+        if (!queue.empty() && (workPending || !live)) {
+            // The heap pops in deterministic (tick, class, machine,
+            // seq) order; the advance target is the minimum exact
+            // time over the heads (tick estimates are conservative,
+            // so scan rather than trust the head alone).
+            armed.clear();
+            while (!queue.empty())
+                armed.push_back(queue.pop());
+            Seconds target = armed.front().time;
+            for (const Event &e : armed)
+                target = std::min(target, e.time);
+            if (live) {
+                // Busy machines batch straight to the first barrier
+                // covering the earliest event; every intermediate
+                // barrier is provably a no-op (nothing due, fleet
+                // state frozen between events) and harvest re-folds
+                // the batch's completions in oracle order.
+                epochs = advanceClockToCover(target);
+            } else {
+                // Idle fleet: reproduce the epoch oracle's
+                // conservative jump bit-for-bit — floor(gap/span)
+                // epochs in one batch, then single steps to the
+                // boundary on later iterations. Matching the
+                // oracle's barrier sequence here matters: a trace
+                // arrival due before the first barrier (t=0) is
+                // served at whatever barrier the jump lands on.
+                const double gap = target - fleetClock_;
+                if (gap > s.epochSpan)
+                    epochs = std::max<std::uint64_t>(
+                        1,
+                        static_cast<std::uint64_t>(gap / s.epochSpan));
+                advanceFleetEpochs(epochs);
+            }
+        } else {
+            // Drain phase (live work, nothing left to dispatch):
+            // march one epoch at a time so the loop exits the moment
+            // the fleet drains — exactly when the epoch oracle does,
+            // before any later fault event fires. Also the fallback
+            // when nothing is armed at all (everything due is blocked
+            // and no fault is pending: creep to the drain-cap fatal
+            // on the same barrier the oracle would).
+            advanceFleetEpochs(1);
+        }
+
+        // Advance every busy machine to the new barrier in parallel;
+        // idle machines are never stepped — they sync lazily at their
+        // next dispatch via Engine::skipIdleQuanta.
+        jobs.clear();
+        const std::uint64_t quanta = epochs * epochQuanta_;
+        for (const auto &m : machines_) {
+            Machine *machine = m.get();
+            if (machine->engine.taskCount() > 0)
+                jobs.emplace_back([machine, quanta] {
+                    machine->engine.runQuanta(quanta);
+                });
+        }
+        if (!jobs.empty())
+            s.pool.run(jobs);
+        ++report_.sched.barriers;
+        if (live)
+            ++report_.sched.eventsProgress;
+
+        const Seconds now = fleetClock_;
+        harvest(now);
+        applyFaults(now);
+        dispatchDue(s, now);
+    }
+
+    // Land every engine on the final barrier, so inspection (and the
+    // quanta + skipped conservation identity) sees one fleet clock.
+    for (const auto &m : machines_) {
+        if (m->engine.tickCount() < fleetTick_)
+            m->engine.skipIdleQuanta(
+                fleetTick_ - m->engine.tickCount(), fleetClock_);
+    }
+    return fleetClock_;
 }
 
 const FleetReport &
@@ -666,153 +1092,49 @@ Cluster::run()
         cfg_.threads > 0
             ? cfg_.threads
             : std::min(static_cast<unsigned>(machines_.size()), hw);
-    EpochPool pool(threads);
+
+    Serve s(threads);
+    s.trace = std::move(trace);
 
     // Epoch length in whole quanta, computed once on the engines'
-    // integer tick grid: every batch below is `epochsBatch` epochs of
-    // exactly this many quanta, so a multi-epoch fast-forward executes
-    // the same quantum sequence as single-epoch stepping.
-    const std::uint64_t epochQuanta =
-        machines_.front()->engine.quantaForDuration(cfg_.epoch);
-    // What one epoch *actually* advances: epochs that are not a whole
-    // number of quanta round up to the covering quantum, so idle
-    // batches must be computed against this span, not cfg_.epoch, or
-    // they would overshoot the next arrival.
-    const Seconds epochSpan = static_cast<double>(epochQuanta) *
-                              machines_.front()->engine.quantum();
-    std::uint64_t epochsBatch = 1;
-
-    std::vector<std::function<void()>> jobs;
-    jobs.reserve(machines_.size());
-    for (const auto &m : machines_) {
-        Machine *machine = m.get();
-        jobs.emplace_back([machine, epochQuanta, &epochsBatch] {
-            machine->engine.runQuanta(epochsBatch * epochQuanta);
-        });
-    }
-
-    const auto anyLive = [this] {
-        return std::any_of(machines_.begin(), machines_.end(),
-                           [](const auto &m) {
-                               return m->engine.taskCount() > 0;
-                           });
-    };
+    // integer tick grid: every inter-barrier advance below is a whole
+    // number of epochs of exactly this many quanta, so a multi-epoch
+    // fast-forward executes the same quantum sequence as single-epoch
+    // stepping.
+    epochQuanta_ = machines_.front()->engine.quantaForDuration(cfg_.epoch);
+    s.epochSpan = static_cast<double>(epochQuanta_) *
+                  machines_.front()->engine.quantum();
 
     // The drain cap bounds time past the end of the trace, so long
     // (low-rate or million-invocation) traces never trip it while
     // arrivals are still due.
-    const Seconds lastArrival = trace.back().arrival;
+    s.lastArrival = s.trace.back().arrival;
 
     // Compile the fault campaign into one deterministic schedule over
     // the trace window (scripted faults may land past it; every crash
     // carries its restart). The drain deadline extends over pending
     // fault transitions and queued retries: a fleet waiting out an
     // outage is making progress, not hanging.
-    faultPlan_ = FaultPlan::compile(cfg_.faults,
-                                    cfg_.totalMachines(), lastArrival,
-                                    cfg_.seed);
-    const std::vector<FaultEvent> &faultEvents = faultPlan_.events();
-    const Seconds lastFault =
-        faultEvents.empty() ? 0 : faultEvents.back().at;
+    faultPlan_ = FaultPlan::compile(cfg_.faults, cfg_.totalMachines(),
+                                    s.lastArrival, cfg_.seed);
+    s.lastFault = faultPlan_.events().empty()
+                      ? 0
+                      : faultPlan_.events().back().at;
 
-    std::size_t next = 0;
-    Seconds now = 0;
-    while (next < trace.size() || !retryQueue_.empty() || anyLive()) {
-        const Seconds drainBase = std::max(
-            lastArrival, std::max(lastFault, latestRetry_));
-        if (now > drainBase + cfg_.drainCap)
-            fatal("Cluster::run: fleet failed to drain within ",
-                  cfg_.drainCap, " simulated seconds of the last "
-                  "arrival");
-        // Idle fast-forward: with no live task anywhere, nothing can
-        // complete and no warm pool can grow, so the next due event —
-        // arrival, retry, or fault transition — is the only
-        // interesting time: run every epoch before it as one batch
-        // (one barrier instead of thousands). The engines still
-        // execute every quantum (cheaply, via their idle replay plan),
-        // keep-alive expiry sweeps are monotone in `now`, and the
-        // conservative floor means the dispatch boundary itself is
-        // reached by normal single-epoch stepping — so totals and
-        // stats stay bit-identical to exact mode. Work already due
-        // but blocked behind a fleet-wide outage or blindness window
-        // contributes no target; the pending fault transition that
-        // unblocks it does.
-        epochsBatch = 1;
-        if (!cfg_.exactQuantum && !anyLive()) {
-            const Seconds inf =
-                std::numeric_limits<double>::infinity();
-            Seconds target = inf;
-            if (next < trace.size() && trace[next].arrival > now)
-                target = std::min(target, trace[next].arrival);
-            if (!retryQueue_.empty() &&
-                retryQueue_.front().arrival > now)
-                target = std::min(target, retryQueue_.front().arrival);
-            if (faultCursor_ < faultEvents.size())
-                target = std::min(target, faultEvents[faultCursor_].at);
-            const double gap = target == inf ? 0 : target - now;
-            if (gap > epochSpan) {
-                epochsBatch = std::max<std::uint64_t>(
-                    1, static_cast<std::uint64_t>(gap / epochSpan));
-            }
-        }
-        pool.run(jobs);
-        // All engines execute the same quantum count, so machine 0's
-        // clock is the fleet clock (exact, no re-accumulated drift).
-        now = machines_.front()->engine.now();
-        harvest(now);
-        // Fault transitions apply at the barrier after their
-        // timestamp — the same granularity as dispatch. Completions
-        // harvested above beat a crash landing at this barrier; a
-        // machine restarting here accepts dispatches immediately.
-        applyFaults(now);
-        // Arrivals are dispatched at the first epoch boundary at or
-        // after their arrival time (never early), with warm containers
-        // parked by this epoch's completions already visible. Due
-        // retries interleave with due arrivals in (time, seq) order —
-        // a retry's seq predates every pending arrival's. One
-        // snapshot set serves the whole batch (dispatch keeps it
-        // current); if no machine is dispatchable, everything due
-        // waits for the barrier that reopens the fleet.
-        const bool anyDue =
-            (next < trace.size() && trace[next].arrival <= now) ||
-            (!retryQueue_.empty() &&
-             retryQueue_.front().arrival <= now);
-        if (anyDue) {
-            auto snaps = snapshots();
-            const bool open =
-                std::any_of(snaps.begin(), snaps.end(),
-                            [](const MachineSnapshot &s) {
-                                return s.dispatchable;
-                            });
-            while (open) {
-                const bool arrivalDue =
-                    next < trace.size() && trace[next].arrival <= now;
-                const bool retryDue =
-                    !retryQueue_.empty() &&
-                    retryQueue_.front().arrival <= now;
-                if (!arrivalDue && !retryDue)
-                    break;
-                bool takeRetry = retryDue;
-                if (arrivalDue && retryDue) {
-                    const Invocation &a = trace[next];
-                    const Invocation &r = retryQueue_.front();
-                    takeRetry = r.arrival < a.arrival ||
-                                (r.arrival == a.arrival &&
-                                 r.seq < a.seq);
-                }
-                if (takeRetry) {
-                    const Invocation inv = retryQueue_.front();
-                    retryQueue_.erase(retryQueue_.begin());
-                    dispatch(inv, snaps);
-                } else {
-                    dispatch(trace[next], snaps);
-                    ++next;
-                }
-            }
-        }
-    }
-
-    report_.makespan = now;
+    // exactQuantum times the true unbatched baseline, so it forces
+    // the epoch oracle regardless of the configured backend.
+    const SchedulerBackend backend = cfg_.exactQuantum
+                                         ? SchedulerBackend::Epoch
+                                         : cfg_.scheduler;
+    report_.sched.scheduler = schedulerName(backend);
+    report_.makespan = backend == SchedulerBackend::Event
+                           ? serveEvent(s)
+                           : serveEpoch(s);
+    report_.sched.barriersElided =
+        fleetTick_ / epochQuanta_ - report_.sched.barriers;
+    for (const auto &m : machines_)
+        report_.sched.idleQuantaSkipped += static_cast<std::uint64_t>(
+            m->engine.stats().skippedQuanta.value());
     report_.meanLatency = report_.completions > 0
                               ? latencySum_ / report_.completions
                               : 0.0;
@@ -835,7 +1157,11 @@ Cluster::run()
         mr.litmusUsd = m.ledger.totalLitmusUsd();
         mr.meanLatency =
             m.completions > 0 ? m.latencySum / m.completions : 0.0;
-        mr.quanta = m.engine.stats().quanta.value();
+        // Quanta *covered* on the canonical grid: executed plus
+        // idle-elided. Identical across backends (and thread counts)
+        // even though the event core never steps idle engines.
+        mr.quanta = m.engine.stats().quanta.value() +
+                    m.engine.stats().skippedQuanta.value();
         mr.crashes = m.crashes;
         mr.killedInvocations = m.killed;
         mr.lostCpuSeconds = m.lostCpuSeconds;

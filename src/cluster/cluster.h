@@ -10,16 +10,20 @@
  * and aggregates per-machine billing into one fleet revenue/discount
  * report.
  *
- * Execution advances in dispatch epochs: every engine runs one epoch
- * on a worker pool (one job per machine, barrier at the end — engines
- * are independent between dispatch decisions, so wall-clock scales
- * with cores), completions are folded back into warm pools and
- * ledgers in machine order, and then the cluster (single-threaded)
- * routes the arrivals that came due, using machine snapshots taken at
- * the barrier — an invocation starts at the first epoch boundary at
- * or after its arrival, never early. All cross-thread state is
- * epoch-local, so a fixed seed gives bit-identical fleet totals at
- * any thread count.
+ * Execution advances between dispatch barriers on the epoch grid:
+ * busy engines run on a worker pool (one job per machine, barrier at
+ * the end — engines are independent between dispatch decisions, so
+ * wall-clock scales with cores), completions are folded back into
+ * warm pools and ledgers in (barrier, machine) order, and then the
+ * cluster (single-threaded) routes the arrivals that came due, using
+ * machine snapshots taken at the barrier — an invocation starts at
+ * the first epoch boundary at or after its arrival, never early. The
+ * default `event` backend only takes the barriers a typed event queue
+ * says matter (idle machines are never stepped at all); the `epoch`
+ * backend marches every grid barrier and serves as the differential
+ * oracle. All cross-thread state is barrier-local, so a fixed seed
+ * gives bit-identical fleet totals at any thread count under either
+ * backend.
  *
  * Warm containers: every completed invocation leaves one idle warm
  * container behind (keep-alive bounded). A dispatch that finds one
@@ -30,8 +34,10 @@
 #ifndef LITMUS_CLUSTER_CLUSTER_H
 #define LITMUS_CLUSTER_CLUSTER_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/dispatcher.h"
@@ -44,6 +50,28 @@
 
 namespace litmus::cluster
 {
+
+/**
+ * Cluster serving-loop backend.
+ *
+ * `Event` (the default) drives the fleet off a deterministic typed
+ * event queue (cluster/event_queue.h): wholly idle machines cost
+ * nothing between events and busy machines fast-forward to the next
+ * event barrier. `Epoch` is the original fixed-epoch march, kept as
+ * the differential-testing oracle — fleet reports are bit-identical
+ * between the two at any thread count, including under chaos.
+ */
+enum class SchedulerBackend : std::uint8_t
+{
+    Epoch,
+    Event,
+};
+
+/** Lower-case backend name ("epoch" / "event"). */
+const char *schedulerName(SchedulerBackend backend);
+
+/** Parse a backend name; fatal() on anything else. */
+SchedulerBackend schedulerByName(const std::string &name);
 
 /** One homogeneous slice of a (possibly mixed) fleet. */
 struct MachineGroup
@@ -97,6 +125,12 @@ struct ClusterConfig
     /** @} */
 
     /** @name Serving model @{ */
+    /**
+     * Serving-loop backend; `exactQuantum` forces `Epoch` (the exact
+     * path exists to time the unbatched baseline).
+     */
+    SchedulerBackend scheduler = SchedulerBackend::Event;
+
     /** Dispatch epoch: barrier period between routing decisions. */
     Seconds epoch = 1e-3;
 
@@ -189,7 +223,9 @@ struct MachineReport
     /** Mean dispatch-to-completion latency (seconds). */
     double meanLatency = 0;
 
-    /** Quanta the machine's engine executed. */
+    /** Quanta the machine covered on the canonical fleet grid:
+     *  executed plus idle-elided (event core). Identical across
+     *  backends and thread counts. */
     double quanta = 0;
 
     /** @name Failure accounting (fault injection) @{ */
@@ -246,10 +282,44 @@ struct TypeReport
     }
 };
 
+/**
+ * Scheduler observability: what the serving loop actually did. Both
+ * backends fill the shared-path counters (arrival/retry/fault/
+ * keep-alive events flow through the same dispatch/harvest code);
+ * idle-skip and barrier-elision are where the event core's win shows.
+ * Never part of the bit-identity contract — the two backends take
+ * different barriers by design — so identicalTotals() ignores this.
+ */
+struct SchedulerCounters
+{
+    /** Backend that produced the report ("epoch" / "event"). */
+    std::string scheduler;
+
+    /** @name Events processed, by class @{ */
+    std::uint64_t eventsFault = 0;     ///< fault transitions applied
+    std::uint64_t eventsArrival = 0;   ///< trace arrivals dispatched
+    std::uint64_t eventsRetry = 0;     ///< retries re-dispatched
+    std::uint64_t eventsKeepAlive = 0; ///< keep-alive expiry sweeps
+    std::uint64_t eventsProgress = 0;  ///< barriers with live work
+    /** @} */
+
+    /** Idle quanta elided across all engines (never stepped). */
+    std::uint64_t idleQuantaSkipped = 0;
+
+    /** Dispatch/harvest barriers the loop actually took. */
+    std::uint64_t barriers = 0;
+
+    /** Epoch-grid barriers skipped (grid barriers minus taken). */
+    std::uint64_t barriersElided = 0;
+};
+
 /** Fleet-wide aggregation. */
 struct FleetReport
 {
     std::vector<MachineReport> machines;
+
+    /** Serving-loop observability (excluded from identicalTotals). */
+    SchedulerCounters sched;
 
     /** Per-machine-type breakdown, in fleet-spec order. Sums match
      *  the per-machine reports exactly (same accumulation order). */
@@ -383,6 +453,39 @@ class Cluster
   private:
     struct Machine;
 
+    /** Per-run serving state shared by both backends (cluster.cc). */
+    struct Serve;
+
+    /**
+     * Serve the trace on the fixed-epoch march (the differential
+     * oracle); returns the final fleet clock (makespan).
+     */
+    Seconds serveEpoch(Serve &s);
+
+    /** Serve the trace on the event queue; returns the makespan. */
+    Seconds serveEvent(Serve &s);
+
+    /** True while any engine owns a live task. */
+    bool anyLive() const;
+
+    /**
+     * Advance the canonical fleet clock by whole epochs, one fadd per
+     * quantum — the exact accumulation sequence every engine's clock
+     * performs, so the two stay bit-identical at equal tick counts.
+     */
+    void advanceFleetEpochs(std::uint64_t epochs);
+
+    /**
+     * Walk the fleet clock forward until it reaches the first epoch
+     * barrier at or past @p target (at least one epoch; dueness on
+     * the exact accumulated grid, no analytic division). Returns the
+     * epochs advanced.
+     */
+    std::uint64_t advanceClockToCover(Seconds target);
+
+    /** Dispatch every due arrival and retry at the barrier @p now. */
+    void dispatchDue(Serve &s, Seconds now);
+
     /** Dispatcher view of every machine, taken at an epoch barrier. */
     std::vector<MachineSnapshot> snapshots() const;
 
@@ -393,7 +496,14 @@ class Cluster
     void dispatch(const Invocation &inv,
                   std::vector<MachineSnapshot> &snapshots);
 
-    /** Fold one epoch's completions into warm pools and ledgers. */
+    /**
+     * Fold buffered completions into warm pools and ledgers, then
+     * sweep lapsed keep-alives. Completions are folded grouped by
+     * their covering epoch barrier (ascending), machines in index
+     * order within a barrier — exactly the order the epoch march
+     * produces one barrier at a time — so the floating-point
+     * accumulation order of fleet totals is backend-independent.
+     */
     void harvest(Seconds now);
 
     /** Apply every fault transition due at or before @p now. */
@@ -416,6 +526,22 @@ class Cluster
     FleetReport report_;
     double latencySum_ = 0;
     bool ran_ = false;
+
+    /** @name Canonical fleet clock @{ */
+    /**
+     * Quanta since t=0 on the fleet grid. Busy engines step every
+     * one; idle engines catch up via Engine::skipIdleQuanta at their
+     * next dispatch (so their clocks land on fleetClock_ exactly).
+     */
+    std::uint64_t fleetTick_ = 0;
+
+    /** Simulated time at fleetTick_, accumulated one quantum-fadd per
+     *  tick — bit-identical to every synced engine's now(). */
+    Seconds fleetClock_ = 0;
+
+    /** Epoch length in whole quanta (set by run()). */
+    std::uint64_t epochQuanta_ = 0;
+    /** @} */
 
     /** @name Fault state (empty/idle without a fault campaign) @{ */
     /** The compiled schedule; applied through faultCursor_. */

@@ -1,0 +1,59 @@
+#include "cluster/event_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace litmus::cluster
+{
+
+const char *
+eventClassName(EventClass cls)
+{
+    switch (cls) {
+    case EventClass::Fault:
+        return "fault";
+    case EventClass::Arrival:
+        return "arrival";
+    case EventClass::Retry:
+        return "retry";
+    case EventClass::KeepAlive:
+        return "keepalive";
+    case EventClass::Progress:
+        return "progress";
+    }
+    fatal("eventClassName: unknown EventClass ",
+          static_cast<unsigned>(cls));
+}
+
+namespace
+{
+
+/** Heap comparator: std::*_heap builds a max-heap, so invert. */
+bool
+later(const Event &a, const Event &b)
+{
+    return b.before(a);
+}
+
+} // namespace
+
+void
+EventQueue::push(const Event &event)
+{
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Event
+EventQueue::pop()
+{
+    if (heap_.empty())
+        fatal("EventQueue::pop: queue is empty");
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event event = heap_.back();
+    heap_.pop_back();
+    return event;
+}
+
+} // namespace litmus::cluster

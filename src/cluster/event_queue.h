@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic typed event queue for the cluster's event-driven
+ * serving loop.
+ *
+ * The event core replaces the fixed-epoch march with a per-fleet
+ * priority queue of *typed* events on the integer quantum grid: next
+ * arrival, next retry due, next fault from the FaultPlan, next
+ * keep-alive expiry. Wholly idle machines cost zero between events
+ * (no engine call, no barrier) and busy machines fast-forward
+ * independently to the next event barrier.
+ *
+ * Determinism is the design center, not an afterthought. Every event
+ * carries a stable composite key
+ *
+ *     (tick, class, machine, seq)
+ *
+ * and the queue pops in strictly ascending key order regardless of
+ * insertion order or worker-thread count. `tick` is the event's
+ * *epoch-barrier estimate* on the integer quantum grid (conservative:
+ * the loop decides actual dueness by comparing the event's exact time
+ * against the canonical fleet clock, so an estimate that lands one
+ * barrier early is harmless — the event simply re-queues). `class`
+ * breaks same-tick ties in the fixed order Fault < Arrival < Retry <
+ * KeepAlive < Progress, mirroring the epoch loop's
+ * harvest/faults/dispatch phase order. `machine` and `seq` pin the
+ * remaining ties to the machine index and a monotone sequence number.
+ *
+ * Keep-alive expiries are *coalesced lazily*: the queue holds at most
+ * the earliest pending expiry per arming pass, and the sweep that
+ * services it clears every expired container at once (exactly like
+ * the epoch path's lazy sweep), so a fleet parking thousands of warm
+ * containers does not flood the queue.
+ */
+
+#ifndef LITMUS_CLUSTER_EVENT_QUEUE_H
+#define LITMUS_CLUSTER_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace litmus::cluster
+{
+
+/**
+ * Event classes, in tie-break order at one tick. The numeric order is
+ * load-bearing: it reproduces the epoch loop's phase order inside a
+ * barrier (faults before dispatch; keep-alive sweeps are lazy and
+ * order-neutral; progress barriers only mark "some machine is busy").
+ */
+enum class EventClass : std::uint8_t
+{
+    Fault = 0,     ///< next FaultPlan event (crash/restart/slow/blind)
+    Arrival = 1,   ///< next trace arrival becomes dispatchable
+    Retry = 2,     ///< next queued retry comes due
+    KeepAlive = 3, ///< earliest warm-container keep-alive expiry
+    Progress = 4,  ///< a live machine still needs epoch barriers
+};
+
+/** Human-readable class name (reports, bench JSON keys). */
+const char *eventClassName(EventClass cls);
+
+/**
+ * One scheduled event. `tick` is the quantum-grid barrier estimate
+ * used only for ordering; `time` is the exact event time used for
+ * dueness. See the file comment for the key discipline.
+ */
+struct Event
+{
+    std::uint64_t tick = 0;
+    EventClass cls = EventClass::Progress;
+    unsigned machine = 0;
+    std::uint64_t seq = 0;
+    Seconds time = 0;
+
+    /** Strict-weak ordering on the composite key (ascending). */
+    bool before(const Event &other) const
+    {
+        if (tick != other.tick)
+            return tick < other.tick;
+        if (cls != other.cls)
+            return cls < other.cls;
+        if (machine != other.machine)
+            return machine < other.machine;
+        return seq < other.seq;
+    }
+};
+
+/**
+ * Binary min-heap of events on the composite key. A thin wrapper over
+ * std::push_heap/pop_heap rather than std::priority_queue so the loop
+ * can peek, clear, and re-arm heads cheaply each iteration.
+ */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    void clear() { heap_.clear(); }
+
+    /** Insert an event (O(log n)). */
+    void push(const Event &event);
+
+    /** Smallest-key event; undefined when empty. */
+    const Event &peek() const { return heap_.front(); }
+
+    /** Remove and return the smallest-key event (O(log n)). */
+    Event pop();
+
+  private:
+    std::vector<Event> heap_;
+};
+
+} // namespace litmus::cluster
+
+#endif // LITMUS_CLUSTER_EVENT_QUEUE_H

@@ -142,6 +142,8 @@ ScenarioSpec::set(const std::string &key, const std::string &value)
     } else if (key == "threads") {
         threads = static_cast<unsigned>(
             parseLongAtLeast(key, value, 0));
+    } else if (key == "scheduler") {
+        scheduler = cluster::schedulerByName(value);
     } else if (key == "exact_quantum") {
         exactQuantum = parseBool(key, value);
     } else if (key == "drain_cap") {
@@ -212,7 +214,8 @@ ScenarioSpec::knownKeys()
             "fault.slow.at", "fault.slow.duration",
             "fault.slow.factor", "fault.slow.mtbf", "fleet",
             "functions", "invocations", "keepalive", "policy",
-            "probes", "rate", "seed", "sharing_factor", "tables",
+            "probes", "rate", "scheduler", "seed", "sharing_factor",
+            "tables",
             "tables_out", "threads", "trace.path", "trace.rate_scale",
             "traffic"};
 }

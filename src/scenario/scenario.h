@@ -77,6 +77,8 @@ struct ScenarioSpec
     Seconds epoch = 1e-3;
     Seconds keepAlive = 10.0;
     unsigned threads = 0;
+    cluster::SchedulerBackend scheduler =
+        cluster::SchedulerBackend::Event;
     bool exactQuantum = false;
     Seconds drainCap = 600.0;
     /** @} */

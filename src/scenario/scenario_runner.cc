@@ -50,6 +50,7 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     cfg_.epoch = spec_.epoch;
     cfg_.keepAlive = spec_.keepAlive;
     cfg_.threads = spec_.threads;
+    cfg_.scheduler = spec_.scheduler;
     cfg_.exactQuantum = spec_.exactQuantum;
     cfg_.drainCap = spec_.drainCap;
     cfg_.sharingFactor = spec_.sharingFactor;
@@ -199,6 +200,17 @@ printFleetReport(std::ostream &os, const cluster::FleetReport &report)
            << TextTable::num(report.absorbedCpuSeconds) << " s ($"
            << TextTable::num(report.absorbedUsd, 6) << ")\n";
     }
+
+    // Scheduler-core footer: how the serving loop spent its barriers.
+    // Diagnostic only — never part of the bit-identity contract.
+    const cluster::SchedulerCounters &sched = report.sched;
+    os << "scheduler " << sched.scheduler << "  barriers "
+       << sched.barriers << " (elided " << sched.barriersElided
+       << ")  idle quanta skipped " << sched.idleQuantaSkipped
+       << "  events arrival " << sched.eventsArrival << " retry "
+       << sched.eventsRetry << " fault " << sched.eventsFault
+       << " keepalive " << sched.eventsKeepAlive << " progress "
+       << sched.eventsProgress << "\n";
 }
 
 } // namespace litmus::scenario

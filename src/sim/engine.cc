@@ -55,6 +55,7 @@ EngineStats::registerWith(StatsRegistry &registry,
     registry.add(group, ffQuanta);
     registry.add(group, solves);
     registry.add(group, solveMemoHits);
+    registry.add(group, skippedQuanta);
 }
 
 Engine::Engine(const MachineConfig &cfg, FrequencyPolicy policy,
@@ -63,8 +64,8 @@ Engine::Engine(const MachineConfig &cfg, FrequencyPolicy policy,
       solver_(cfg_),
       governor_(cfg_, policy),
       scheduler_(cfg_),
-      quantum_(quantum),
-      quantumNs_(std::llround(quantum * 1e9)),
+      quantum_(quantum > 0 ? quantum : cfg_.quantum),
+      quantumNs_(std::llround(quantum_ * 1e9)),
       lastFrequency_(cfg_.baseFrequency),
       fastForward_(defaultFastForward_)
 {
@@ -224,9 +225,38 @@ Engine::runUntilIdle(Seconds cap)
 void
 Engine::step()
 {
+    // Counted before execution so completion callbacks fired inside
+    // this quantum read the 1-based tick the completion belongs to.
+    ++tickCount_;
     if (tryReplayQuantum())
         return;
     fullStep();
+}
+
+void
+Engine::skipIdleQuanta(std::uint64_t n, Seconds clock)
+{
+    if (n == 0)
+        return;
+    if (!tasks_.empty())
+        fatal("Engine::skipIdleQuanta: ", tasks_.size(),
+              " tasks still live — only wholly idle machines may skip");
+    if (!quantumCbs_.empty())
+        fatal("Engine::skipIdleQuanta: per-quantum observers are "
+              "registered; they would miss ", n, " callbacks");
+    // Plausibility only — the caller's canonical clock accumulated the
+    // same fadd sequence this engine would have, so the two agree to
+    // bit-identity when the protocol is followed; a gross mismatch
+    // means the caller skipped to the wrong tick.
+    const Seconds expected =
+        now_ + static_cast<double>(n) * quantum_;
+    if (std::abs(clock - expected) > 1e-6)
+        fatal("Engine::skipIdleQuanta: clock ", clock,
+              " is not ", n, " quanta ahead of now ", now_);
+    now_ = clock;
+    machine_.time = now_;
+    tickCount_ += n;
+    stats_.skippedQuanta.add(n);
 }
 
 const ContentionResult &

@@ -67,6 +67,8 @@ struct EngineStats
                        "contention solve requests (incl. memo hits)"};
     CounterStat solveMemoHits{"solve_memo_hits",
                               "contention solves served from the memo"};
+    CounterStat skippedQuanta{"skipped_quanta",
+                              "idle quanta elided by skipIdleQuanta"};
     /** @} */
 
     /** Register every member under the given group. */
@@ -86,9 +88,13 @@ class Engine
     using QuantumObserver =
         std::function<void(Seconds now, const SharedState &state)>;
 
+    /**
+     * @param quantum stepping quantum; 0 (the default) takes the
+     *     quantum from @p cfg so presets control it fleet-wide.
+     */
     Engine(const MachineConfig &cfg,
            FrequencyPolicy policy = FrequencyPolicy::Fixed,
-           Seconds quantum = 50e-6);
+           Seconds quantum = 0);
 
     /** Add a task; the engine takes ownership. Returns a handle. */
     Task &add(std::unique_ptr<Task> task);
@@ -136,6 +142,27 @@ class Engine
 
     /** Quantum length this engine steps by. */
     Seconds quantum() const { return quantum_; }
+
+    /**
+     * Quanta this engine has lived through: executed steps plus idle
+     * quanta elided by skipIdleQuanta(). During a quantum's step() the
+     * count already includes that quantum (1-based), so completion
+     * callbacks read the tick the completion belongs to.
+     */
+    std::uint64_t tickCount() const { return tickCount_; }
+
+    /**
+     * Elide @p n wholly idle quanta in O(1): no live tasks means a
+     * step touches nothing task-visible except the clock, so the
+     * engine jumps straight to @p clock — the *caller's* canonical
+     * clock for the destination tick, assigned (not accumulated) so an
+     * idle machine lands on bit-identical time as one that stepped
+     * every quantum against the same shared fadd sequence. fatal() if
+     * tasks are live or per-quantum observers are registered (those
+     * would have fired n times). Counted in stats().skippedQuanta, not
+     * quanta.
+     */
+    void skipIdleQuanta(std::uint64_t n, Seconds clock);
 
     /** Machine-wide uncore counters. */
     const MachineCounters &machineCounters() const { return machine_; }
@@ -282,6 +309,8 @@ class Engine
     /** Quantum in integer nanosecond ticks (run() accounting). */
     std::int64_t quantumNs_;
     Seconds now_ = 0;
+    /** Lifetime quanta: stepped + skipped (see tickCount()). */
+    std::uint64_t tickCount_ = 0;
     Hertz lastFrequency_;
     MachineCounters machine_;
     std::vector<std::unique_ptr<Task>> tasks_;

@@ -1,5 +1,7 @@
 #include "sim/machine_config.h"
 
+#include <cmath>
+
 #include "common/config_reader.h"
 #include "common/logging.h"
 
@@ -40,6 +42,13 @@ MachineConfig::validate() const
         fatal("MachineConfig: timeSlice must be positive");
     if (warmthMaxPenalty < 0 || warmthRate < 0)
         fatal("MachineConfig: warmth parameters must be non-negative");
+    const double quantumNs = quantum * 1e9;
+    if (quantum <= 0 || quantumNs < 1 ||
+        std::abs(quantumNs - std::round(quantumNs)) > 1e-6) {
+        fatal("MachineConfig: quantum must be a positive whole number "
+              "of nanoseconds, got ",
+              quantum, " s");
+    }
 }
 
 void
@@ -101,6 +110,8 @@ applyMachineOverrides(MachineConfig &machine,
         } else if (key == "memory_capacity_gib") {
             machine.memoryCapacity = static_cast<Bytes>(
                 config.getDouble(key, 0) * 1024.0 * 1024.0 * 1024.0);
+        } else if (key == "quantum_us") {
+            machine.quantum = config.getDouble(key, 0) * 1e-6;
         } else {
             fatal("applyMachineOverrides: unknown key '", key, "'");
         }

@@ -147,6 +147,15 @@ struct MachineConfig
     /** Main memory capacity (bounds admission in the invoker). */
     Bytes memoryCapacity = 384_GiB;
 
+    /**
+     * Simulation quantum for engines built from this preset (whole
+     * nanoseconds; validate() enforces it). The cluster requires every
+     * machine type in one fleet to agree on this value — the dispatch
+     * epoch is a whole number of quanta and the fleet clock lives on
+     * that shared grid — and fatal()s at config time otherwise.
+     */
+    Seconds quantum = 50e-6;
+
     /** Total hardware threads (scheduling targets). */
     unsigned hwThreads() const { return cores * smtWays; }
 
@@ -188,7 +197,7 @@ namespace litmus::sim
  * capacity_miss_exponent, residency_factor, coupling_l3,
  * coupling_mem, coupling_saturation_mpki, coupling_max,
  * smt_cpi_multiplier, time_slice_ms, context_switch_cycles,
- * warmth_max_penalty, warmth_rate, memory_capacity_gib.
+ * warmth_max_penalty, warmth_rate, memory_capacity_gib, quantum_us.
  *
  * Lives in the sim layer (not with ConfigReader in common/): it
  * writes sim::MachineConfig, and common/ must not reach up the DAG.
