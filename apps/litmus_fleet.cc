@@ -11,8 +11,9 @@
  * under a different seed. A flag invocation and the equivalent
  * scenario file produce bit-identical fleet reports.
  *
- * Traffic is pluggable (--traffic=poisson|diurnal|burst|trace, plus
- * the model knobs); Litmus pricing needs one calibration profile per
+ * Traffic is pluggable (--traffic=poisson|diurnal|burst|trace|azure,
+ * plus the model knobs); Litmus pricing needs one calibration profile
+ * per
  * machine type: --tables loads serialized profiles, --calibrate
  * sweeps every fleet type in-process (memoized via ProfileStore), and
  * --tables-out persists the active profiles.
@@ -50,7 +51,8 @@ main(int argc, char **argv)
                    "warmth-aware | cost-aware",
                    "warmth-aware")
         .addOption("traffic",
-                   "traffic model: poisson | diurnal | burst | trace",
+                   "traffic model: poisson | diurnal | burst | trace "
+                   "| azure",
                    "poisson")
         .addOption("rate", "fleet arrival rate (invocations/s)", "2000")
         .addOption("invocations",
@@ -64,6 +66,21 @@ main(int argc, char **argv)
                    "arrival trace CSV to replay (traffic=trace)", "")
         .addOption("trace-rate-scale",
                    "trace replay speedup: 2 = twice as fast", "1")
+        .addOption("azure-file",
+                   "Azure-dataset-shaped CSV to ingest "
+                   "(traffic=azure)",
+                   "")
+        .addOption("azure-max-rows",
+                   "ingest at most this many function rows "
+                   "(0 = all; rows past the cap are never read)",
+                   "0")
+        .addOption("azure-rate-scale",
+                   "azure replay speedup: 2 = twice as fast", "1")
+        .addOption("arrivals",
+                   "arrival delivery: streaming (bounded memory) | "
+                   "upfront (materialize the whole trace; A/B "
+                   "validation, bit-identical reports)",
+                   "streaming")
         .addOption("seed", "trace and jitter seed", "1")
         .addOption("epoch-us", "dispatch epoch in microseconds", "1000")
         .addOption("keepalive", "warm-container keep-alive (s)", "10")
@@ -161,6 +178,10 @@ main(int argc, char **argv)
     overlay("duration", "duration");
     overlay("trace-file", "trace.path");
     overlay("trace-rate-scale", "trace.rate_scale");
+    overlay("azure-file", "azure.path");
+    overlay("azure-max-rows", "azure.max_rows");
+    overlay("azure-rate-scale", "azure.rate_scale");
+    overlay("arrivals", "arrivals");
     overlay("seed", "seed");
     overlay("epoch-us", "epoch_us");
     overlay("keepalive", "keepalive");

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -162,6 +163,49 @@ printDiscountSummary(const pricing::ExperimentResult &result,
                                   result.litmusDiscount()),
                            1) +
             "pp");
+}
+
+/**
+ * Reset the process's peak-RSS high-water mark (Linux: write "5" to
+ * /proc/self/clear_refs), so a following peakRssBytes() measures only
+ * the phase between the two calls. Returns false when the kernel
+ * interface is unavailable (non-Linux, restricted /proc) — callers
+ * should then skip RSS assertions rather than fail.
+ */
+inline bool
+resetPeakRss()
+{
+    std::ofstream clear("/proc/self/clear_refs");
+    if (!clear)
+        return false;
+    clear << "5\n";
+    return static_cast<bool>(clear.flush());
+}
+
+/**
+ * The process's peak resident set size in bytes since start (or since
+ * the last resetPeakRss()), from VmHWM in /proc/self/status. Returns
+ * 0 when /proc is unavailable.
+ */
+inline std::uint64_t
+peakRssBytes()
+{
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        // "VmHWM:     12345 kB"
+        std::uint64_t kib = 0;
+        for (const char c : line) {
+            if (c >= '0' && c <= '9')
+                kib = kib * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        return kib * 1024;
+    }
+    return 0;
 }
 
 /**

@@ -705,18 +705,77 @@ Cluster::applyFaults(Seconds now)
     }
 }
 
+namespace
+{
+
+/**
+ * The built-in open-loop Poisson source (ClusterConfig::traffic ==
+ * nullptr) as a native stream: one fork() of the arrival Rng, then
+ * the legacy draw order per arrival — inter-arrival gap, then the
+ * uniform pool pick — which the scenario layer's `poisson` model
+ * reproduces bit-exactly from the same substream.
+ */
+class InlinePoissonStream final : public ArrivalStream
+{
+  public:
+    InlinePoissonStream(
+        Rng &rng, double rate, std::uint64_t count,
+        const std::vector<const workload::FunctionSpec *> &pool)
+        : ArrivalStream("inline-poisson"), rng_(rng.fork()),
+          rate_(rate), remaining_(count), pool_(pool)
+    {
+    }
+
+  protected:
+    bool produce(Invocation &out) override
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        at_ += rng_.exponential(1.0 / rate_);
+        out.arrival = at_;
+        out.spec = pool_[rng_.below(pool_.size())];
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    double rate_;
+    std::uint64_t remaining_;
+    /** Borrowed from ClusterConfig, which outlives the run. */
+    const std::vector<const workload::FunctionSpec *> &pool_;
+    Seconds at_ = 0;
+};
+
+/** Drain a stream into a vector (the upfront-arrivals A/B path). */
+std::vector<Invocation>
+drainStream(ArrivalStream &stream)
+{
+    std::vector<Invocation> trace;
+    Invocation inv;
+    while (stream.next(inv))
+        trace.push_back(inv);
+    return trace;
+}
+
+} // namespace
+
 /** Per-run serving state shared by both backends. */
 struct Cluster::Serve
 {
     explicit Serve(unsigned threads) : pool(threads) {}
 
-    /** The full arrival trace, generated up front. */
-    std::vector<Invocation> trace;
+    /** The arrival cursor both backends pull lazily; under
+     *  ClusterConfig::upfrontArrivals a replay of the materialized
+     *  trace (same arrivals, O(total) resident). */
+    std::unique_ptr<ArrivalStream> stream;
 
-    /** Next undispatched trace arrival. */
-    std::size_t next = 0;
+    /** The next undispatched arrival (nullptr at end of stream). */
+    const Invocation *head() { return stream->peek(); }
 
     /** @name Drain-cap bases @{ */
+    /** Latest arrival *pulled* so far; the peeked head extends the
+     *  drain base separately while arrivals remain. */
     Seconds lastArrival = 0;
     Seconds lastFault = 0;
     /** @} */
@@ -772,10 +831,12 @@ Cluster::dispatchDue(Serve &s, Seconds now)
     // seq predates every pending arrival's. One snapshot set serves
     // the whole batch (dispatch keeps it current); if no machine is
     // dispatchable, everything due waits for the barrier that reopens
-    // the fleet.
+    // the fleet. The stream head is peeked (not pulled) until the
+    // batch actually takes it, so a blocked fleet buffers at most one
+    // arrival.
+    const Invocation *head = s.head();
     const bool anyDue =
-        (s.next < s.trace.size() &&
-         s.trace[s.next].arrival <= now) ||
+        (head != nullptr && head->arrival <= now) ||
         (!retryQueue_.empty() && retryQueue_.front().arrival <= now);
     if (!anyDue)
         return;
@@ -785,18 +846,18 @@ Cluster::dispatchDue(Serve &s, Seconds now)
                                       return snap.dispatchable;
                                   });
     while (open) {
-        const bool arrivalDue = s.next < s.trace.size() &&
-                                s.trace[s.next].arrival <= now;
+        head = s.head();
+        const bool arrivalDue = head != nullptr && head->arrival <= now;
         const bool retryDue = !retryQueue_.empty() &&
                               retryQueue_.front().arrival <= now;
         if (!arrivalDue && !retryDue)
             break;
         bool takeRetry = retryDue;
         if (arrivalDue && retryDue) {
-            const Invocation &a = s.trace[s.next];
             const Invocation &r = retryQueue_.front();
-            takeRetry = r.arrival < a.arrival ||
-                        (r.arrival == a.arrival && r.seq < a.seq);
+            takeRetry = r.arrival < head->arrival ||
+                        (r.arrival == head->arrival &&
+                         r.seq < head->seq);
         }
         if (takeRetry) {
             const Invocation inv = retryQueue_.front();
@@ -804,9 +865,11 @@ Cluster::dispatchDue(Serve &s, Seconds now)
             ++report_.sched.eventsRetry;
             dispatch(inv, snaps);
         } else {
+            Invocation inv;
+            s.stream->next(inv);
+            s.lastArrival = inv.arrival;
             ++report_.sched.eventsArrival;
-            dispatch(s.trace[s.next], snaps);
-            ++s.next;
+            dispatch(inv, snaps);
         }
     }
 }
@@ -825,10 +888,14 @@ Cluster::serveEpoch(Serve &s)
     }
 
     const std::vector<FaultEvent> &faultEvents = faultPlan_.events();
-    while (s.next < s.trace.size() || !retryQueue_.empty() ||
-           anyLive()) {
-        const Seconds drainBase = std::max(
+    while (s.head() != nullptr || !retryQueue_.empty() || anyLive()) {
+        // The drain base extends over the peeked head while arrivals
+        // remain: the fleet is never "failing to drain" while the
+        // stream still owes it work.
+        Seconds drainBase = std::max(
             s.lastArrival, std::max(s.lastFault, latestRetry_));
+        if (const Invocation *head = s.head())
+            drainBase = std::max(drainBase, head->arrival);
         if (fleetClock_ > drainBase + cfg_.drainCap)
             fatal("Cluster::run: fleet failed to drain within ",
                   cfg_.drainCap, " simulated seconds of the last "
@@ -851,9 +918,9 @@ Cluster::serveEpoch(Serve &s)
             const Seconds inf =
                 std::numeric_limits<double>::infinity();
             Seconds target = inf;
-            if (s.next < s.trace.size() &&
-                s.trace[s.next].arrival > fleetClock_)
-                target = std::min(target, s.trace[s.next].arrival);
+            if (const Invocation *head = s.head();
+                head != nullptr && head->arrival > fleetClock_)
+                target = std::min(target, head->arrival);
             if (!retryQueue_.empty() &&
                 retryQueue_.front().arrival > fleetClock_)
                 target = std::min(target, retryQueue_.front().arrival);
@@ -903,10 +970,11 @@ Cluster::serveEvent(Serve &s)
                epochQuanta_;
     };
 
-    while (s.next < s.trace.size() || !retryQueue_.empty() ||
-           anyLive()) {
-        const Seconds drainBase = std::max(
+    while (s.head() != nullptr || !retryQueue_.empty() || anyLive()) {
+        Seconds drainBase = std::max(
             s.lastArrival, std::max(s.lastFault, latestRetry_));
+        if (const Invocation *pending = s.head())
+            drainBase = std::max(drainBase, pending->arrival);
         if (fleetClock_ > drainBase + cfg_.drainCap)
             fatal("Cluster::run: fleet failed to drain within ",
                   cfg_.drainCap, " simulated seconds of the last "
@@ -916,13 +984,15 @@ Cluster::serveEvent(Serve &s)
         // and retries arm: work already due but blocked behind a
         // fleet-wide outage contributes no target (the epoch loop's
         // rule exactly) — the fault transition that unblocks it does,
-        // and the fault head is always armed.
+        // and the fault head is always armed. Arming peeks the stream
+        // head without pulling it, so the queue holds one arrival per
+        // stream, never the trace.
         queue.clear();
-        if (s.next < s.trace.size() &&
-            s.trace[s.next].arrival > fleetClock_) {
-            queue.push({tickEstimate(s.trace[s.next].arrival),
-                        EventClass::Arrival, 0, s.trace[s.next].seq,
-                        s.trace[s.next].arrival});
+        if (const Invocation *head = s.head();
+            head != nullptr && head->arrival > fleetClock_) {
+            queue.push({tickEstimate(head->arrival),
+                        EventClass::Arrival, 0, head->seq,
+                        head->arrival});
         }
         if (!retryQueue_.empty() &&
             retryQueue_.front().arrival > fleetClock_) {
@@ -938,7 +1008,7 @@ Cluster::serveEvent(Serve &s)
         }
         const bool live = anyLive();
         const bool workPending =
-            s.next < s.trace.size() || !retryQueue_.empty();
+            s.head() != nullptr || !retryQueue_.empty();
 
         // Keep-alive expiries coalesce lazily: one event for the
         // fleet-wide earliest expiry; the sweep it triggers clears
@@ -1048,45 +1118,6 @@ Cluster::run()
     if (ran_)
         fatal("Cluster::run called twice");
 
-    // The arrival trace is generated up front so traffic is identical
-    // across dispatch policies and thread counts — for the pluggable
-    // scenario models exactly as for the built-in Poisson source.
-    std::vector<Invocation> trace;
-    if (cfg_.traffic) {
-        trace = cfg_.traffic->generate(rng_, cfg_.functionPool);
-        if (trace.empty())
-            fatal("Cluster::run: traffic model '",
-                  cfg_.traffic->name(),
-                  "' generated no arrivals — check its rate/"
-                  "invocations/duration knobs");
-        Seconds prev = 0;
-        for (const Invocation &inv : trace) {
-            if (!inv.spec)
-                fatal("Cluster::run: traffic model '",
-                      cfg_.traffic->name(),
-                      "' emitted an arrival without a function");
-            if (inv.arrival < prev)
-                fatal("Cluster::run: traffic model '",
-                      cfg_.traffic->name(),
-                      "' emitted out-of-order arrivals (", inv.arrival,
-                      " after ", prev, ")");
-            prev = inv.arrival;
-        }
-    } else {
-        trace.reserve(cfg_.invocations);
-        Seconds at = 0;
-        for (std::uint64_t i = 0; i < cfg_.invocations; ++i) {
-            at += rng_.exponential(1.0 / cfg_.arrivalsPerSecond);
-            Invocation inv;
-            inv.spec =
-                cfg_.functionPool[rng_.below(cfg_.functionPool.size())];
-            inv.arrival = at;
-            inv.seq = i;
-            trace.push_back(inv);
-        }
-    }
-    report_.arrivals = trace.size();
-
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     const unsigned threads =
         cfg_.threads > 0
@@ -1094,7 +1125,39 @@ Cluster::run()
             : std::min(static_cast<unsigned>(machines_.size()), hw);
 
     Serve s(threads);
-    s.trace = std::move(trace);
+
+    // Arrival generation draws from its own SplitMix64-derived
+    // substream of the seed (rng_ keeps the raw seed for dispatch
+    // jitter), so traffic is identical across dispatch policies and
+    // thread counts, and pulling the stream lazily versus draining it
+    // upfront cannot perturb any other draw — the arrivals are
+    // bit-identical either way, which run modes below A/B.
+    Rng trafficRng(deriveArrivalSeed(cfg_.seed));
+    if (cfg_.traffic) {
+        if (cfg_.upfrontArrivals)
+            s.stream = replayStream(
+                cfg_.traffic->generate(trafficRng, cfg_.functionPool),
+                cfg_.traffic->name());
+        else
+            s.stream = cfg_.traffic->open(trafficRng, cfg_.functionPool);
+        if (s.stream == nullptr)
+            fatal("Cluster::run: traffic model '",
+                  cfg_.traffic->name(), "' opened a null stream");
+        if (s.stream->peek() == nullptr)
+            fatal("Cluster::run: traffic model '",
+                  cfg_.traffic->name(),
+                  "' generated no arrivals — check its rate/"
+                  "invocations/duration knobs");
+    } else {
+        auto inlineStream = std::make_unique<InlinePoissonStream>(
+            trafficRng, cfg_.arrivalsPerSecond, cfg_.invocations,
+            cfg_.functionPool);
+        if (cfg_.upfrontArrivals)
+            s.stream = replayStream(drainStream(*inlineStream),
+                                    inlineStream->model());
+        else
+            s.stream = std::move(inlineStream);
+    }
 
     // Epoch length in whole quanta, computed once on the engines'
     // integer tick grid: every inter-barrier advance below is a whole
@@ -1105,18 +1168,26 @@ Cluster::run()
     s.epochSpan = static_cast<double>(epochQuanta_) *
                   machines_.front()->engine.quantum();
 
-    // The drain cap bounds time past the end of the trace, so long
-    // (low-rate or million-invocation) traces never trip it while
-    // arrivals are still due.
-    s.lastArrival = s.trace.back().arrival;
-
     // Compile the fault campaign into one deterministic schedule over
-    // the trace window (scripted faults may land past it; every crash
-    // carries its restart). The drain deadline extends over pending
-    // fault transitions and queued retries: a fleet waiting out an
-    // outage is making progress, not hanging.
+    // the expected arrival window (scripted faults may land past it;
+    // every crash carries its restart). Streaming retired the
+    // materialized trace whose realized last timestamp used to bound
+    // the stochastic fault processes, so the horizon is the model's
+    // own estimate — the same number in streaming and upfront modes,
+    // so the compiled schedule (and everything downstream) stays
+    // bit-identical between them. Custom generate()-only models fall
+    // back to their replay stream's exact last timestamp. The drain
+    // deadline extends over pending fault transitions and queued
+    // retries: a fleet waiting out an outage is making progress, not
+    // hanging.
+    Seconds horizon = cfg_.traffic
+                          ? cfg_.traffic->horizonHint()
+                          : static_cast<double>(cfg_.invocations) /
+                                cfg_.arrivalsPerSecond;
+    if (horizon <= 0)
+        horizon = s.stream->horizonHint();
     faultPlan_ = FaultPlan::compile(cfg_.faults, cfg_.totalMachines(),
-                                    s.lastArrival, cfg_.seed);
+                                    horizon, cfg_.seed);
     s.lastFault = faultPlan_.events().empty()
                       ? 0
                       : faultPlan_.events().back().at;
@@ -1132,6 +1203,16 @@ Cluster::run()
                            : serveEpoch(s);
     report_.sched.barriersElided =
         fleetTick_ / epochQuanta_ - report_.sched.barriers;
+    // Both backends pull the stream dry before draining, so pulled
+    // equals the arrivals served — the same total the materialized
+    // trace's size used to report.
+    report_.arrivals = s.stream->pulled();
+    report_.arrivalFlow.model = s.stream->model();
+    report_.arrivalFlow.mode =
+        cfg_.upfrontArrivals ? "upfront" : "streaming";
+    report_.arrivalFlow.generated = s.stream->generated();
+    report_.arrivalFlow.pulled = s.stream->pulled();
+    report_.arrivalFlow.bufferedMax = s.stream->bufferedMax();
     for (const auto &m : machines_)
         report_.sched.idleQuantaSkipped += static_cast<std::uint64_t>(
             m->engine.stats().skippedQuanta.value());

@@ -4,11 +4,12 @@
  *
  * The Litmus paper prices invocations on a single co-located server;
  * production platforms serve the same traffic from fleets. A Cluster
- * owns one sim::Engine per machine, generates an open-loop Poisson
- * arrival stream at fleet rates (tens of thousands to millions of
- * invocations), routes every arrival through a pluggable Dispatcher,
- * and aggregates per-machine billing into one fleet revenue/discount
- * report.
+ * owns one sim::Engine per machine, pulls an open-loop arrival stream
+ * lazily (the built-in Poisson source or any TrafficSource) at fleet
+ * rates — memory stays O(stream lookahead), so day-long traces over
+ * millions of invocations never materialize — routes every arrival
+ * through a pluggable Dispatcher, and aggregates per-machine billing
+ * into one fleet revenue/discount report.
  *
  * Execution advances between dispatch barriers on the epoch grid:
  * busy engines run on a worker pool (one job per machine, barrier at
@@ -162,6 +163,16 @@ struct ClusterConfig
      * never trip it while arrivals are still due.
      */
     Seconds drainCap = 600.0;
+
+    /**
+     * A/B escape hatch (--arrivals=upfront): materialize the whole
+     * arrival trace before serving (the seed-era behavior) instead of
+     * pulling the stream lazily. Fleet totals and ledgers are
+     * bit-identical either way — that differential is a tested gate —
+     * but upfront pays O(total arrivals) resident memory; it exists
+     * for validation and the fig26 memory comparison.
+     */
+    bool upfrontArrivals = false;
     /** @} */
 
     /** @name Fleet billing @{ */
@@ -313,6 +324,34 @@ struct SchedulerCounters
     std::uint64_t barriersElided = 0;
 };
 
+/**
+ * Arrival-flow observability: what the traffic stream produced and
+ * what it cost to hold. `bufferedMax` is the stream's peak resident
+ * arrival count — 1 for native streaming models, the whole trace
+ * under `upfrontArrivals` — which is the number fig26's memory claim
+ * rests on. Like SchedulerCounters, never part of the bit-identity
+ * contract (streaming and upfront buffer differently by design), so
+ * identicalTotals() ignores this.
+ */
+struct ArrivalCounters
+{
+    /** Producing traffic model ("poisson", "trace", "azure", ...;
+     *  "inline-poisson" for the built-in source). */
+    std::string model;
+
+    /** "streaming" or "upfront" (ClusterConfig::upfrontArrivals). */
+    std::string mode;
+
+    /** Arrivals the model produced (includes a peeked head). */
+    std::uint64_t generated = 0;
+
+    /** Arrivals the serving loop consumed. */
+    std::uint64_t pulled = 0;
+
+    /** Peak arrivals resident in the stream at once. */
+    std::uint64_t bufferedMax = 0;
+};
+
 /** Fleet-wide aggregation. */
 struct FleetReport
 {
@@ -320,6 +359,9 @@ struct FleetReport
 
     /** Serving-loop observability (excluded from identicalTotals). */
     SchedulerCounters sched;
+
+    /** Arrival-flow observability (excluded from identicalTotals). */
+    ArrivalCounters arrivalFlow;
 
     /** Per-machine-type breakdown, in fleet-spec order. Sums match
      *  the per-machine reports exactly (same accumulation order). */

@@ -104,8 +104,17 @@ ScenarioSpec::set(const std::string &key, const std::string &value)
         // The 10000-arrival default is a stop condition for the
         // generative models; a replay must not silently truncate its
         // file to it.
-        if (value == "trace" && !invocationsExplicit)
+        if ((value == "trace" || value == "azure") &&
+            !invocationsExplicit)
             traffic.invocations = 0;
+    } else if (key == "arrivals") {
+        if (value == "streaming")
+            upfrontArrivals = false;
+        else if (value == "upfront")
+            upfrontArrivals = true;
+        else
+            fatal("scenario key 'arrivals' expects 'streaming' or "
+                  "'upfront', got '", value, "'");
     } else if (key == "rate") {
         traffic.arrivalsPerSecond = parseDouble(key, value);
     } else if (key == "invocations") {
@@ -130,6 +139,13 @@ ScenarioSpec::set(const std::string &key, const std::string &value)
         traffic.tracePath = value;
     } else if (key == "trace.rate_scale") {
         traffic.traceRateScale = parseDouble(key, value);
+    } else if (key == "azure.path") {
+        traffic.azurePath = value;
+    } else if (key == "azure.max_rows") {
+        traffic.azureMaxRows = static_cast<std::uint64_t>(
+            parseLongAtLeast(key, value, 0));
+    } else if (key == "azure.rate_scale") {
+        traffic.azureRateScale = parseDouble(key, value);
     } else if (key == "functions") {
         functions = value;
     } else if (key == "seed") {
@@ -203,7 +219,9 @@ ScenarioSpec::set(const std::string &key, const std::string &value)
 std::vector<std::string>
 ScenarioSpec::knownKeys()
 {
-    return {"burst.idle_fraction", "burst.off", "burst.on",
+    return {"arrivals", "azure.max_rows", "azure.path",
+            "azure.rate_scale",
+            "burst.idle_fraction", "burst.off", "burst.on",
             "calibrate", "calibration_levels", "diurnal.amplitude",
             "diurnal.period", "diurnal.phase", "drain_cap", "duration",
             "epoch_us", "exact_quantum", "fault.billing",
@@ -246,13 +264,15 @@ ScenarioSpec::fromFile(const std::string &path)
     // A relative trace path means "next to the scenario file", so a
     // scenario + trace pair can be shipped as a unit and run from any
     // working directory.
-    if (!spec.traffic.tracePath.empty() &&
-        spec.traffic.tracePath.front() != '/') {
+    const auto resolve = [&path](std::string &trace) {
+        if (trace.empty() || trace.front() == '/')
+            return;
         const auto slash = path.find_last_of('/');
         if (slash != std::string::npos)
-            spec.traffic.tracePath =
-                path.substr(0, slash + 1) + spec.traffic.tracePath;
-    }
+            trace = path.substr(0, slash + 1) + trace;
+    };
+    resolve(spec.traffic.tracePath);
+    resolve(spec.traffic.azurePath);
     return spec;
 }
 

@@ -81,6 +81,12 @@ struct ScenarioSpec
         cluster::SchedulerBackend::Event;
     bool exactQuantum = false;
     Seconds drainCap = 600.0;
+
+    /** A/B escape hatch (`arrivals = upfront`): materialize the
+     *  whole arrival trace before serving instead of streaming it.
+     *  Totals are bit-identical either way (a tested gate); upfront
+     *  pays O(total arrivals) memory. */
+    bool upfrontArrivals = false;
     /** @} */
 
     /** @name Pricing @{ */
@@ -108,9 +114,10 @@ struct ScenarioSpec
 
     /**
      * Whether an `invocations` key has been applied through set().
-     * Switching to `traffic = trace` drops the generative models'
-     * 10000-arrival default unless the user asked for a cap, so an
-     * untouched trace scenario replays its whole file.
+     * Switching to a replay model (`traffic = trace` or `azure`)
+     * drops the generative models' 10000-arrival default unless the
+     * user asked for a cap, so an untouched replay scenario serves
+     * its whole file.
      */
     bool invocationsExplicit = false;
 
@@ -128,8 +135,9 @@ struct ScenarioSpec
      *  in a scenario file points at the offending line. */
     static ScenarioSpec fromConfig(const ConfigReader &config);
 
-    /** Load from a scenario file. A relative trace.path is resolved
-     *  against the scenario file's directory. */
+    /** Load from a scenario file. A relative trace.path or
+     *  azure.path is resolved against the scenario file's
+     *  directory. */
     static ScenarioSpec fromFile(const std::string &path);
 
     /** Parse from text (tests, embedded scenarios). */

@@ -53,6 +53,7 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     cfg_.scheduler = spec_.scheduler;
     cfg_.exactQuantum = spec_.exactQuantum;
     cfg_.drainCap = spec_.drainCap;
+    cfg_.upfrontArrivals = spec_.upfrontArrivals;
     cfg_.sharingFactor = spec_.sharingFactor;
     cfg_.probes = spec_.probes.value_or(!cfg_.discountModels.empty());
     cfg_.traffic = traffic_.get();
@@ -211,6 +212,14 @@ printFleetReport(std::ostream &os, const cluster::FleetReport &report)
        << sched.eventsRetry << " fault " << sched.eventsFault
        << " keepalive " << sched.eventsKeepAlive << " progress "
        << sched.eventsProgress << "\n";
+
+    // Arrival-flow footer: how the traffic source fed the fleet.
+    // Diagnostic only — never part of the bit-identity contract.
+    const cluster::ArrivalCounters &flow = report.arrivalFlow;
+    os << "arrivals " << flow.model << " (" << flow.mode
+       << ")  generated " << flow.generated << "  pulled "
+       << flow.pulled << "  buffered max " << flow.bufferedMax
+       << "\n";
 }
 
 } // namespace litmus::scenario

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "scenario/azure_trace.h"
 #include "workload/suite.h"
 
 namespace litmus::scenario
@@ -29,24 +31,65 @@ wantMore(const TrafficSpec &spec, std::uint64_t count, Seconds at)
     return true;
 }
 
-/** Append one arrival, sampling the pool for its function. */
-void
-emit(std::vector<cluster::Invocation> &out, Seconds at, Rng &rng,
-     const std::vector<const workload::FunctionSpec *> &pool)
+/**
+ * Expected end-of-arrivals for the generative models' horizonHint():
+ * the configured duration, the expected span of the configured count
+ * at the long-run mean rate, or whichever of the two limits bites
+ * first when both are set. An estimate (the realized last arrival is
+ * random), but identical between streaming and upfront consumption —
+ * which is what the fault-plan horizon needs.
+ */
+Seconds
+expectedSpan(const TrafficSpec &spec)
 {
-    cluster::Invocation inv;
-    inv.spec = pool[rng.below(pool.size())];
-    inv.arrival = at;
-    inv.seq = out.size();
-    out.push_back(inv);
+    const Seconds byCount =
+        spec.invocations > 0 ? static_cast<double>(spec.invocations) /
+                                   spec.arrivalsPerSecond
+                             : 0;
+    if (spec.duration > 0 && byCount > 0)
+        return std::min(spec.duration, byCount);
+    return spec.duration > 0 ? spec.duration : byCount;
 }
 
 /**
- * The legacy open-loop source. The draw order (exponential gap, then
- * uniform function index) replicates the cluster's old inline
- * generator exactly, so a poisson scenario at seed S is bit-identical
- * to the pre-scenario fleet at seed S.
+ * The legacy open-loop source. The per-arrival draw order
+ * (exponential gap, then uniform function index) from one fork() of
+ * the arrival Rng replicates the cluster's inline generator exactly,
+ * so a poisson scenario at seed S is bit-identical to the built-in
+ * fleet source at seed S.
  */
+class PoissonStream final : public cluster::ArrivalStream
+{
+  public:
+    PoissonStream(const TrafficSpec &spec, Rng &rng,
+                  const std::vector<const workload::FunctionSpec *> &pool)
+        : ArrivalStream("poisson"), spec_(spec), rng_(rng.fork()),
+          pool_(pool)
+    {
+    }
+
+  protected:
+    bool produce(cluster::Invocation &out) override
+    {
+        if (spec_.invocations > 0 && emitted_ >= spec_.invocations)
+            return false;
+        at_ += rng_.exponential(1.0 / spec_.arrivalsPerSecond);
+        if (spec_.duration > 0 && at_ >= spec_.duration)
+            return false;
+        out.arrival = at_;
+        out.spec = pool_[rng_.below(pool_.size())];
+        ++emitted_;
+        return true;
+    }
+
+  private:
+    TrafficSpec spec_;
+    Rng rng_;
+    std::vector<const workload::FunctionSpec *> pool_;
+    Seconds at_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
 class PoissonTraffic final : public TrafficModel
 {
   public:
@@ -54,25 +97,15 @@ class PoissonTraffic final : public TrafficModel
 
     std::string name() const override { return "poisson"; }
 
-    std::vector<cluster::Invocation>
-    generate(Rng &rng,
-             const std::vector<const workload::FunctionSpec *> &pool)
+    std::unique_ptr<cluster::ArrivalStream>
+    open(Rng &rng,
+         const std::vector<const workload::FunctionSpec *> &pool)
         const override
     {
-        std::vector<cluster::Invocation> out;
-        out.reserve(spec_.invocations);
-        Seconds at = 0;
-        // Count-limited runs execute exactly the legacy loop: one
-        // exponential gap plus one uniform pool index per arrival.
-        while (spec_.invocations == 0 ||
-               out.size() < spec_.invocations) {
-            at += rng.exponential(1.0 / spec_.arrivalsPerSecond);
-            if (spec_.duration > 0 && at >= spec_.duration)
-                break;
-            emit(out, at, rng, pool);
-        }
-        return out;
+        return std::make_unique<PoissonStream>(spec_, rng, pool);
     }
+
+    Seconds horizonHint() const override { return expectedSpan(spec_); }
 
   private:
     TrafficSpec spec_;
@@ -82,8 +115,55 @@ class PoissonTraffic final : public TrafficModel
  * Sinusoid-modulated rate, sampled by Lewis-Shedler thinning: draw
  * candidates from a homogeneous process at the peak rate and accept
  * each with probability rate(t)/peak. Exact for any bounded rate
- * function, and deterministic for a fixed Rng.
+ * function, and deterministic for a fixed Rng — one produce() call
+ * loops over rejected candidates, so the draw sequence is identical
+ * to the materialized era's single loop.
  */
+class DiurnalStream final : public cluster::ArrivalStream
+{
+  public:
+    DiurnalStream(const TrafficSpec &spec, double peak, Rng &rng,
+                  const std::vector<const workload::FunctionSpec *> &pool)
+        : ArrivalStream("diurnal"), spec_(spec), peak_(peak),
+          rng_(rng.fork()), pool_(pool)
+    {
+    }
+
+  protected:
+    bool produce(cluster::Invocation &out) override
+    {
+        while (wantMore(spec_, emitted_, at_)) {
+            at_ += rng_.exponential(1.0 / peak_);
+            if (!wantMore(spec_, emitted_, at_))
+                return false;
+            if (rng_.uniform() * peak_ <= rateAt(at_)) {
+                out.arrival = at_;
+                out.spec = pool_[rng_.below(pool_.size())];
+                ++emitted_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    double rateAt(Seconds t) const
+    {
+        return spec_.arrivalsPerSecond *
+               (1.0 + spec_.diurnalAmplitude *
+                          std::sin(2.0 * kPi *
+                                   (t / spec_.diurnalPeriod +
+                                    spec_.diurnalPhase)));
+    }
+
+    TrafficSpec spec_;
+    double peak_;
+    Rng rng_;
+    std::vector<const workload::FunctionSpec *> pool_;
+    Seconds at_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
 class DiurnalTraffic final : public TrafficModel
 {
   public:
@@ -100,25 +180,17 @@ class DiurnalTraffic final : public TrafficModel
                                     spec_.diurnalPhase)));
     }
 
-    std::vector<cluster::Invocation>
-    generate(Rng &rng,
-             const std::vector<const workload::FunctionSpec *> &pool)
+    std::unique_ptr<cluster::ArrivalStream>
+    open(Rng &rng,
+         const std::vector<const workload::FunctionSpec *> &pool)
         const override
     {
         const double peak =
             spec_.arrivalsPerSecond * (1.0 + spec_.diurnalAmplitude);
-        std::vector<cluster::Invocation> out;
-        out.reserve(spec_.invocations);
-        Seconds at = 0;
-        while (wantMore(spec_, out.size(), at)) {
-            at += rng.exponential(1.0 / peak);
-            if (!wantMore(spec_, out.size(), at))
-                break;
-            if (rng.uniform() * peak <= rateAt(at))
-                emit(out, at, rng, pool);
-        }
-        return out;
+        return std::make_unique<DiurnalStream>(spec_, peak, rng, pool);
     }
+
+    Seconds horizonHint() const override { return expectedSpan(spec_); }
 
   private:
     TrafficSpec spec_;
@@ -129,8 +201,61 @@ class DiurnalTraffic final : public TrafficModel
  * / burstOff); arrivals are Poisson at rateOn while on and rateOff
  * while off, with rateOn solved so the long-run mean rate equals
  * arrivalsPerSecond. Candidates falling past the state boundary are
- * discarded — valid because the Poisson process is memoryless.
+ * discarded — valid because the Poisson process is memoryless. The
+ * initial on-state holding time is drawn at open(), before any
+ * arrival, exactly as the materialized generator drew it before its
+ * loop.
  */
+class BurstStream final : public cluster::ArrivalStream
+{
+  public:
+    BurstStream(const TrafficSpec &spec, double rateOn, double rateOff,
+                Rng &rng,
+                const std::vector<const workload::FunctionSpec *> &pool)
+        : ArrivalStream("burst"), spec_(spec), rateOn_(rateOn),
+          rateOff_(rateOff), rng_(rng.fork()), pool_(pool)
+    {
+        stateEnd_ = rng_.exponential(spec_.burstOn);
+    }
+
+  protected:
+    bool produce(cluster::Invocation &out) override
+    {
+        while (wantMore(spec_, emitted_, at_)) {
+            const double rate = on_ ? rateOn_ : rateOff_;
+            Seconds candidate = stateEnd_;
+            if (rate > 0)
+                candidate = at_ + rng_.exponential(1.0 / rate);
+            if (candidate >= stateEnd_) {
+                at_ = stateEnd_;
+                on_ = !on_;
+                stateEnd_ = at_ + rng_.exponential(on_ ? spec_.burstOn
+                                                       : spec_.burstOff);
+                continue;
+            }
+            at_ = candidate;
+            if (spec_.duration > 0 && at_ >= spec_.duration)
+                return false;
+            out.arrival = at_;
+            out.spec = pool_[rng_.below(pool_.size())];
+            ++emitted_;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    TrafficSpec spec_;
+    double rateOn_;
+    double rateOff_;
+    Rng rng_;
+    std::vector<const workload::FunctionSpec *> pool_;
+    bool on_ = true;
+    Seconds at_ = 0;
+    Seconds stateEnd_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
 class BurstTraffic final : public TrafficModel
 {
   public:
@@ -148,35 +273,16 @@ class BurstTraffic final : public TrafficModel
     double onRate() const { return rateOn_; }
     double offRate() const { return rateOff_; }
 
-    std::vector<cluster::Invocation>
-    generate(Rng &rng,
-             const std::vector<const workload::FunctionSpec *> &pool)
+    std::unique_ptr<cluster::ArrivalStream>
+    open(Rng &rng,
+         const std::vector<const workload::FunctionSpec *> &pool)
         const override
     {
-        std::vector<cluster::Invocation> out;
-        out.reserve(spec_.invocations);
-        bool on = true;
-        Seconds at = 0;
-        Seconds stateEnd = rng.exponential(spec_.burstOn);
-        while (wantMore(spec_, out.size(), at)) {
-            const double rate = on ? rateOn_ : rateOff_;
-            Seconds candidate = stateEnd;
-            if (rate > 0)
-                candidate = at + rng.exponential(1.0 / rate);
-            if (candidate >= stateEnd) {
-                at = stateEnd;
-                on = !on;
-                stateEnd = at + rng.exponential(on ? spec_.burstOn
-                                                   : spec_.burstOff);
-                continue;
-            }
-            at = candidate;
-            if (spec_.duration > 0 && at >= spec_.duration)
-                break;
-            emit(out, at, rng, pool);
-        }
-        return out;
+        return std::make_unique<BurstStream>(spec_, rateOn_, rateOff_,
+                                             rng, pool);
     }
+
+    Seconds horizonHint() const override { return expectedSpan(spec_); }
 
   private:
     TrafficSpec spec_;
@@ -185,59 +291,108 @@ class BurstTraffic final : public TrafficModel
 };
 
 /**
- * CSV replay. Rows are parsed and validated at construction (so a
- * malformed trace fails when the scenario is built, not mid-run);
- * generate() applies the rate rescale and the row/duration caps, and
- * samples the pool for rows without a function name.
+ * CSV replay as an incremental stream: each opened stream runs its
+ * own TraceCsvReader, emitting one rescaled row per pull and sampling
+ * the pool for rows without a function name — the file is never
+ * resident. The row/duration caps apply during the read, so a capped
+ * replay of a huge file stops parsing at the cap.
  */
-class TraceTraffic final : public TrafficModel
+class TraceStream final : public cluster::ArrivalStream
 {
   public:
-    explicit TraceTraffic(TrafficSpec spec)
-        : spec_(std::move(spec)), rows_(loadArrivalTrace(spec_.tracePath))
+    TraceStream(const TrafficSpec &spec, Rng &rng,
+                const std::vector<const workload::FunctionSpec *> &pool)
+        : ArrivalStream("trace"), spec_(spec), rng_(rng.fork()),
+          pool_(pool), reader_(spec_.tracePath)
     {
-        if (rows_.empty())
-            fatal("traffic trace '", spec_.tracePath,
-                  "' contains no arrivals");
     }
 
-    std::string name() const override { return "trace"; }
-
-    std::size_t rowCount() const { return rows_.size(); }
-
-    std::vector<cluster::Invocation>
-    generate(Rng &rng,
-             const std::vector<const workload::FunctionSpec *> &pool)
-        const override
+  protected:
+    bool produce(cluster::Invocation &out) override
     {
-        std::vector<cluster::Invocation> out;
-        out.reserve(rows_.size());
-        for (const TraceRow &row : rows_) {
-            const Seconds at = row.arrival / spec_.traceRateScale;
-            if (spec_.invocations > 0 &&
-                out.size() >= spec_.invocations) {
-                // A cap that bites is worth a notice: a silently
-                // truncated replay reads as "covered the trace".
-                warn("trace '", spec_.tracePath, "': replay capped "
-                     "at ", out.size(), " of ", rows_.size(),
-                     " rows (invocations=", spec_.invocations, ")");
-                break;
-            }
-            if (spec_.duration > 0 && at >= spec_.duration)
-                break;
-            cluster::Invocation inv;
-            inv.spec = row.spec ? row.spec
-                                : pool[rng.below(pool.size())];
-            inv.arrival = at;
-            inv.seq = out.size();
-            out.push_back(inv);
-        }
-        return out;
+        if (spec_.invocations > 0 && emitted_ >= spec_.invocations)
+            return false;
+        TraceRow row;
+        if (!reader_.next(row))
+            return false;
+        const Seconds at = row.arrival / spec_.traceRateScale;
+        if (spec_.duration > 0 && at >= spec_.duration)
+            return false;
+        out.arrival = at;
+        out.spec = row.spec ? row.spec : pool_[rng_.below(pool_.size())];
+        ++emitted_;
+        return true;
     }
 
   private:
     TrafficSpec spec_;
-    std::vector<TraceRow> rows_;
+    Rng rng_;
+    std::vector<const workload::FunctionSpec *> pool_;
+    TraceCsvReader reader_;
+    std::uint64_t emitted_ = 0;
+};
+
+/**
+ * The trace model. Construction runs a validation prescan — an
+ * O(1)-memory incremental read that stops at the row/duration caps —
+ * so a malformed trace fails when the scenario is built, not mid-run,
+ * and a capped replay of a huge file never reads past the cap. The
+ * prescan also records the capped span (the fault-plan horizon) and
+ * warns when the row cap bites.
+ */
+class TraceTraffic final : public TrafficModel
+{
+  public:
+    explicit TraceTraffic(TrafficSpec spec) : spec_(std::move(spec))
+    {
+        TraceCsvReader reader(spec_.tracePath);
+        TraceRow row;
+        bool capped = false;
+        while (reader.next(row)) {
+            if (spec_.invocations > 0 && kept_ >= spec_.invocations) {
+                capped = true;
+                break;
+            }
+            const Seconds at = row.arrival / spec_.traceRateScale;
+            if (spec_.duration > 0 && at >= spec_.duration)
+                break;
+            ++kept_;
+            lastKept_ = at;
+        }
+        if (kept_ == 0)
+            fatal("traffic trace '", spec_.tracePath,
+                  "' contains no arrivals");
+        if (capped) {
+            // A cap that bites is worth a notice: a silently
+            // truncated replay reads as "covered the trace". The
+            // rows past the cap are never read, so the total is
+            // unknown by design.
+            warn("trace '", spec_.tracePath, "': replay capped at ",
+                 kept_, " rows (invocations=", spec_.invocations,
+                 "); rows past the cap left unread");
+        }
+    }
+
+    std::string name() const override { return "trace"; }
+
+    /** Rows the caps keep (the prescan's count). */
+    std::size_t rowCount() const { return kept_; }
+
+    std::unique_ptr<cluster::ArrivalStream>
+    open(Rng &rng,
+         const std::vector<const workload::FunctionSpec *> &pool)
+        const override
+    {
+        return std::make_unique<TraceStream>(spec_, rng, pool);
+    }
+
+    /** The capped replay's exact last timestamp (prescanned). */
+    Seconds horizonHint() const override { return lastKept_; }
+
+  private:
+    TrafficSpec spec_;
+    std::size_t kept_ = 0;
+    Seconds lastKept_ = 0;
 };
 
 struct Registry
@@ -264,6 +419,9 @@ struct Registry
         factories["trace"] = [](const TrafficSpec &spec) {
             return std::make_unique<TraceTraffic>(spec);
         };
+        factories["azure"] = [](const TrafficSpec &spec) {
+            return makeAzureTraceModel(spec);
+        };
     }
 };
 
@@ -281,7 +439,10 @@ TrafficSpec::validate() const
 {
     if (model.empty())
         fatal("TrafficSpec: empty model name");
-    if (invocations == 0 && duration <= 0 && model != "trace")
+    // Replay models are bounded by their file, not by the stop knobs,
+    // and their timestamps carry their own rate.
+    const bool replay = model == "trace" || model == "azure";
+    if (invocations == 0 && duration <= 0 && !replay)
         fatal("TrafficSpec: need a stop condition — set invocations "
               "or duration");
     // Non-finite knobs are poison, not extremes: an infinite
@@ -290,7 +451,7 @@ TrafficSpec::validate() const
     if (!std::isfinite(duration) || duration < 0)
         fatal("TrafficSpec: duration must be finite and >= 0, got ",
               duration);
-    if (model != "trace" &&
+    if (!replay &&
         (arrivalsPerSecond <= 0 || !std::isfinite(arrivalsPerSecond)))
         fatal("TrafficSpec: arrival rate must be positive and "
               "finite");
@@ -314,6 +475,11 @@ TrafficSpec::validate() const
         fatal("TrafficSpec: trace model needs trace.path");
     if (traceRateScale <= 0 || !std::isfinite(traceRateScale))
         fatal("TrafficSpec: trace.rate_scale must be positive and "
+              "finite");
+    if (model == "azure" && azurePath.empty())
+        fatal("TrafficSpec: azure model needs azure.path");
+    if (azureRateScale <= 0 || !std::isfinite(azureRateScale))
+        fatal("TrafficSpec: azure.rate_scale must be positive and "
               "finite");
 }
 
@@ -362,22 +528,35 @@ trafficModelNames()
     return names;
 }
 
-std::vector<TraceRow>
-loadArrivalTrace(const std::string &path)
+struct TraceCsvReader::Impl
 {
-    std::ifstream file(path);
-    if (!file)
-        fatal("cannot read arrival trace '", path, "'");
-
-    std::vector<TraceRow> rows;
-    std::string line;
+    std::string path;
+    std::ifstream file;
     unsigned lineNo = 0;
     Seconds prev = 0;
     // One leading non-numeric row (after any comments) is tolerated
     // as the column header.
     bool headerAllowed = true;
-    while (std::getline(file, line)) {
-        ++lineNo;
+};
+
+TraceCsvReader::TraceCsvReader(std::string path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->path = std::move(path);
+    impl_->file.open(impl_->path);
+    if (!impl_->file)
+        fatal("cannot read arrival trace '", impl_->path, "'");
+}
+
+TraceCsvReader::~TraceCsvReader() = default;
+
+bool
+TraceCsvReader::next(TraceRow &row)
+{
+    Impl &st = *impl_;
+    std::string line;
+    while (std::getline(st.file, line)) {
+        ++st.lineNo;
         // Strip comments and surrounding whitespace.
         const auto hash = line.find('#');
         if (hash != std::string::npos)
@@ -417,31 +596,42 @@ loadArrivalTrace(const std::string &path)
             // The header row is one where the timestamp field is not
             // numeric at all; anything strtod makes partial sense of
             // ("nan", "0.5s") is a malformed data row, even first.
-            if (headerAllowed && !stamp.empty() &&
+            if (st.headerAllowed && !stamp.empty() &&
                 end == stamp.c_str()) {
-                headerAllowed = false;
+                st.headerAllowed = false;
                 continue;
             }
-            fatal("trace '", path, "' line ", lineNo,
+            fatal("trace '", st.path, "' line ", st.lineNo,
                   ": bad arrival timestamp '", stamp, "'");
         }
-        headerAllowed = false;
+        st.headerAllowed = false;
         if (at < 0)
-            fatal("trace '", path, "' line ", lineNo,
+            fatal("trace '", st.path, "' line ", st.lineNo,
                   ": negative arrival time ", at);
-        if (at < prev)
-            fatal("trace '", path, "' line ", lineNo,
-                  ": arrivals out of order (", at, " after ", prev,
+        if (at < st.prev)
+            fatal("trace '", st.path, "' line ", st.lineNo,
+                  ": arrivals out of order (", at, " after ", st.prev,
                   ")");
-        prev = at;
+        st.prev = at;
 
-        TraceRow row;
         row.arrival = at;
         // An unknown function name fatal()s with the suite listing.
-        if (!function.empty())
-            row.spec = &workload::functionByName(function);
-        rows.push_back(row);
+        row.spec = function.empty()
+                       ? nullptr
+                       : &workload::functionByName(function);
+        return true;
     }
+    return false;
+}
+
+std::vector<TraceRow>
+loadArrivalTrace(const std::string &path)
+{
+    TraceCsvReader reader(path);
+    std::vector<TraceRow> rows;
+    TraceRow row;
+    while (reader.next(row))
+        rows.push_back(row);
     return rows;
 }
 

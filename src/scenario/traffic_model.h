@@ -20,13 +20,21 @@
  *             the rates solved so the long-run mean matches the
  *             configured arrival rate;
  *  - trace    replay of arrival timestamps (+ optional function
- *             names) from a CSV file, with a rate-rescale knob.
+ *             names) from a CSV file, with a rate-rescale knob;
+ *  - azure    ingestion of the public Azure Functions dataset shape
+ *             (per-function minute-bucket invocation counts — see
+ *             scenario/azure_trace.h), sampled into deterministic
+ *             timestamps one minute at a time.
  *
  * Custom processes register through registerTrafficModel() and become
- * addressable from scenario files by name. Every model generates its
- * whole trace up front from one Rng, so a fixed seed gives the same
- * arrivals at any thread count — the fleet determinism guarantee does
- * not depend on which model produced the traffic.
+ * addressable from scenario files by name. Every built-in is a native
+ * stream: open() yields arrivals one at a time from a single fork()
+ * of the run's arrival Rng, so memory stays O(model lookahead) for
+ * day-long million-function workloads, and a fixed seed gives the
+ * same arrivals at any thread count whether the stream is pulled
+ * lazily or drained upfront through generate() — the fleet
+ * determinism guarantee does not depend on which model produced the
+ * traffic, nor on how it was consumed.
  */
 
 #ifndef LITMUS_SCENARIO_TRAFFIC_MODEL_H
@@ -96,17 +104,30 @@ struct TrafficSpec
     double traceRateScale = 1.0;
     /** @} */
 
+    /** @name azure: Azure Functions dataset-shape ingestion @{ */
+    /** CSV in the Azure Functions dataset shape: identity columns
+     *  (owner/app/function hashes, trigger) then one invocation-count
+     *  column per minute of the day (see scenario/azure_trace.h). */
+    std::string azurePath;
+    /** Cap on ingested function rows (0 = every row). Enforced
+     *  during the parse — rows past the cap are never read. */
+    std::uint64_t azureMaxRows = 0;
+    /** Rate rescale, as trace.rate_scale: 2.0 squeezes the trace into
+     *  half the simulated time. */
+    double azureRateScale = 1.0;
+    /** @} */
+
     /** fatal() on out-of-range parameters. */
     void validate() const;
 };
 
 /**
  * One arrival process, by its registry name ("poisson", "diurnal",
- * ...). The generation contract — full trace up front, nondecreasing
- * timestamps, non-null specs, identical output for equal-seeded
- * generators — is cluster::TrafficSource's; the scenario layer adds
- * only the registry. The interface lives in the cluster layer so the
- * cluster can consume models without an upward include.
+ * ...). The contract — open() streams nondecreasing non-null
+ * arrivals, generate() drains the same stream, identical output for
+ * equal-seeded generators — is cluster::TrafficSource's; the scenario
+ * layer adds only the registry. The interface lives in the cluster
+ * layer so the cluster can consume models without an upward include.
  */
 class TrafficModel : public cluster::TrafficSource
 {
@@ -131,15 +152,43 @@ std::unique_ptr<TrafficModel> makeTrafficModel(const TrafficSpec &spec);
 std::vector<std::string> trafficModelNames();
 
 /**
- * Parsed trace-replay rows (exposed for tests and tools). fatal()s on
- * unreadable files, malformed timestamps, unknown function names, or
- * out-of-order rows. A null spec means "sample the pool at replay".
+ * One parsed trace-replay row. A null spec means "sample the pool at
+ * replay".
  */
 struct TraceRow
 {
     Seconds arrival = 0;
     const workload::FunctionSpec *spec = nullptr;
 };
+
+/**
+ * Incremental `arrival_seconds,function` CSV reader: one validated
+ * row per next() call, O(1) memory regardless of file size — the
+ * `trace` model's backing reader (its build-time validation prescan
+ * and each opened stream run one of these), also exposed for tests
+ * and tools. fatal()s with file:line on unreadable files, malformed
+ * or non-finite timestamps, unknown function names, and out-of-order
+ * rows; '#' comments and one leading non-numeric header row are
+ * tolerated.
+ */
+class TraceCsvReader
+{
+  public:
+    explicit TraceCsvReader(std::string path);
+    TraceCsvReader(const TraceCsvReader &) = delete;
+    TraceCsvReader &operator=(const TraceCsvReader &) = delete;
+    ~TraceCsvReader();
+
+    /** Parse the next data row into @p row; false at end of file. */
+    bool next(TraceRow &row);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Drain a TraceCsvReader: every row of @p path, materialized
+ *  (small-file convenience for tests and tools). */
 std::vector<TraceRow> loadArrivalTrace(const std::string &path);
 
 } // namespace litmus::scenario

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -247,10 +248,17 @@ Engine::skipIdleQuanta(std::uint64_t n, Seconds clock)
     // Plausibility only — the caller's canonical clock accumulated the
     // same fadd sequence this engine would have, so the two agree to
     // bit-identity when the protocol is followed; a gross mismatch
-    // means the caller skipped to the wrong tick.
+    // means the caller skipped to the wrong tick. The tolerance must
+    // cover the drift between the caller's n sequential fadds and the
+    // single multiply here: each fadd near time t rounds by up to
+    // t*eps, so a day-long trace's multi-second idle skip legitimately
+    // accumulates several microseconds of divergence.
     const Seconds expected =
         now_ + static_cast<double>(n) * quantum_;
-    if (std::abs(clock - expected) > 1e-6)
+    const Seconds driftBound =
+        static_cast<double>(n) * std::abs(expected) *
+        std::numeric_limits<double>::epsilon();
+    if (std::abs(clock - expected) > 1e-6 + driftBound)
         fatal("Engine::skipIdleQuanta: clock ", clock,
               " is not ", n, " quanta ahead of now ", now_);
     now_ = clock;

@@ -250,8 +250,8 @@ memoryIntensiveSet()
     return out;
 }
 
-const FunctionSpec &
-functionByName(const std::string &name)
+const FunctionSpec *
+findFunction(const std::string &name)
 {
     static const auto index = [] {
         // LITMUS-LINT-ALLOW(unordered-decl): name->spec lookup index only; suite order everywhere comes from table1Suite()'s vector
@@ -261,9 +261,16 @@ functionByName(const std::string &name)
         return map;
     }();
     const auto it = index.find(name);
-    if (it == index.end())
+    return it == index.end() ? nullptr : it->second;
+}
+
+const FunctionSpec &
+functionByName(const std::string &name)
+{
+    const FunctionSpec *spec = findFunction(name);
+    if (!spec)
         fatal("functionByName: unknown function '", name, "'");
-    return *it->second;
+    return *spec;
 }
 
 std::vector<const FunctionSpec *>

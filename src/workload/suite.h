@@ -43,6 +43,11 @@ std::vector<const FunctionSpec *> memoryIntensiveSet();
 /** Lookup by name; fatal() if absent. */
 const FunctionSpec &functionByName(const std::string &name);
 
+/** Non-fatal lookup: nullptr when no suite member has this name
+ *  (heuristic mappers — e.g. the azure trace ingester — probe names
+ *  that usually aren't suite functions). */
+const FunctionSpec *findFunction(const std::string &name);
+
 /** Pointers to every suite member (co-runner sampling pool). */
 std::vector<const FunctionSpec *> allFunctions();
 

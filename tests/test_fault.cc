@@ -590,6 +590,10 @@ TEST(FaultScenario, EveryKnownKeyIsSettable)
             return "poisson";
         if (key == "trace.path")
             return "trace.csv";
+        if (key == "azure.path")
+            return "azure.csv";
+        if (key == "arrivals")
+            return "streaming";
         if (key == "tables")
             return "t.profile";
         if (key == "tables_out")
